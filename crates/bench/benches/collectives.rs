@@ -1,0 +1,38 @@
+//! Real threaded ring all-reduce throughput across rank counts and buffer
+//! sizes — the engine's gradient-sync substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dapple_collectives::allreduce_sum;
+use std::hint::black_box;
+
+fn bench_ring_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_allreduce");
+    group.sample_size(20);
+    for ranks in [2usize, 4, 8] {
+        for len in [1usize << 12, 1 << 16, 1 << 20] {
+            group.throughput(Throughput::Bytes((ranks * len * 4) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{ranks}ranks"), len),
+                &(ranks, len),
+                |b, &(ranks, len)| {
+                    b.iter_batched(
+                        || {
+                            (0..ranks)
+                                .map(|r| vec![r as f32 + 0.5; len])
+                                .collect::<Vec<_>>()
+                        },
+                        |mut bufs| {
+                            allreduce_sum(&mut bufs);
+                            black_box(bufs[0][0])
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Planner micro-benchmarks: full strategy search per model/config (the
+//! paper reports the planner completes "within a few seconds" for every
+//! benchmark — this measures ours), plus the latency-objective hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dapple_cluster::Cluster;
+use dapple_model::zoo;
+use dapple_planner::{pipeline_latency, CostModel, DapplePlanner, PlannerConfig};
+use dapple_profiler::{MemoryModel, ModelProfile};
+use std::hint::black_box;
+
+fn bench_full_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_search");
+    group.sample_size(10);
+    for (name, spec, cluster) in [
+        ("resnet50_configA", zoo::resnet50(), Cluster::config_a(2)),
+        ("gnmt16_configA", zoo::gnmt16(), Cluster::config_a(2)),
+        ("gnmt16_configC", zoo::gnmt16(), Cluster::config_c(16)),
+        ("xlnet36_configB", zoo::xlnet36(), Cluster::config_b(16)),
+    ] {
+        let profile = ModelProfile::profile(&spec.graph, &cluster.device);
+        let mm = MemoryModel::new(spec.optimizer);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let planner = DapplePlanner::new(
+                    &profile,
+                    &cluster,
+                    mm,
+                    PlannerConfig::new(spec.global_batch),
+                );
+                black_box(planner.plan().unwrap().latency_us)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency_objective(c: &mut Criterion) {
+    let cluster = Cluster::config_a(2);
+    let spec = zoo::bert48();
+    let profile = ModelProfile::profile(&spec.graph, &cluster.device);
+    let mm = MemoryModel::new(spec.optimizer);
+    let cm = CostModel::new(&profile, &cluster, mm, 64);
+    let plan = dapple_core::Plan::new(vec![
+        dapple_core::StagePlan::new(0..24, (0..8).map(dapple_core::DeviceId).collect()),
+        dapple_core::StagePlan::new(24..48, (8..16).map(dapple_core::DeviceId).collect()),
+    ]);
+    c.bench_function("latency_objective_bert_8_8", |b| {
+        b.iter(|| {
+            let lat = cm.stage_latencies(black_box(&plan.stages), 8);
+            black_box(pipeline_latency(&lat, 8).total_us())
+        })
+    });
+    c.bench_function("evaluate_with_microbatch_sweep", |b| {
+        b.iter(|| black_box(cm.evaluate(black_box(&plan.stages), false).total_us()))
+    });
+}
+
+criterion_group!(benches, bench_full_search, bench_latency_objective);
+criterion_main!(benches);

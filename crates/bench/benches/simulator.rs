@@ -1,0 +1,49 @@
+//! Simulator micro-benchmarks: one full training-iteration simulation per
+//! schedule, scaling in micro-batch count and stage depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dapple_cluster::Cluster;
+use dapple_core::{Bytes, DeviceId, Plan, StagePlan};
+use dapple_model::synthetic;
+use dapple_planner::CostModel;
+use dapple_profiler::{MemoryModel, ModelProfile};
+use dapple_sim::{KPolicy, PipelineSim, Schedule, SimConfig};
+use std::hint::black_box;
+
+fn bench_schedules(c: &mut Criterion) {
+    let cluster = Cluster::config_b(4);
+    let graph = synthetic::uniform(16, 200.0, Bytes::mb(20.0), Bytes::mb(1.0));
+    let profile = ModelProfile::profile(&graph, &cluster.device);
+    let mm = MemoryModel::new(dapple_model::OptimizerKind::Adam);
+    let cm = CostModel::new(&profile, &cluster, mm, 256);
+    let plan = Plan::new(
+        (0..4)
+            .map(|i| StagePlan::new(i * 4..(i + 1) * 4, vec![DeviceId(i as u32)]))
+            .collect(),
+    );
+    let sim = PipelineSim::new(&cm, &plan);
+    let mut group = c.benchmark_group("sim_iteration");
+    for m in [8usize, 64, 256] {
+        for (label, schedule) in [
+            ("gpipe", Schedule::GPipe),
+            ("dapple_pb", Schedule::Dapple(KPolicy::PB)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, m), &m, |b, &m| {
+                b.iter(|| {
+                    black_box(
+                        sim.run(SimConfig {
+                            micro_batches: m,
+                            schedule,
+                            recompute: false,
+                        })
+                        .makespan_us,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

@@ -1,0 +1,250 @@
+//! Ablations of DAPPLE's design choices (DESIGN.md §5).
+//!
+//! Four studies, each isolating one mechanism the paper argues for:
+//!
+//! 1. **sync vs async** — DAPPLE's synchronous schedule against a
+//!    PipeDream-style async runtime (weight stashing) on the same plan:
+//!    what convergence-safety costs in throughput and what async costs in
+//!    memory and staleness (§I–II);
+//! 2. **placement policies** — the full Fresh/Append/Scatter-First
+//!    composition against Fresh-First alone (§IV-B);
+//! 3. **pivot heuristic** — formula 3's pivot selection against naively
+//!    pivoting on the last stage, scored by estimate error vs the
+//!    simulator (§IV-C1);
+//! 4. **micro-batch selection** — the planner's memory-feasible
+//!    micro-batch sweep against always using the finest micro-batching.
+
+use crate::common::{two_stage_plan, Bench, Report};
+use dapple_cluster::{Cluster, PlacementPolicy};
+use dapple_model::zoo;
+use dapple_planner::{pipeline_latency, pipeline_latency_with_pivot, DapplePlanner, PlannerConfig};
+use dapple_sim::{async_pipe, KPolicy, PipelineSim, Schedule, SimConfig};
+use std::fmt::Write as _;
+
+/// Runs all four ablations.
+pub fn ablations() -> Report {
+    let mut text = String::new();
+    let mut csv = String::from("study,variant,metric,value\n");
+
+    // (1) sync vs async on BERT-48, two-stage, Config B.
+    {
+        let b = Bench::new(zoo::bert48(), Cluster::config_b(2));
+        let cm = b.cost_at(32);
+        let plan = two_stage_plan(&cm, 1, 1);
+        let m = 16;
+        let sync = PipelineSim::new(&cm, &plan).run(SimConfig {
+            micro_batches: m,
+            schedule: Schedule::Dapple(KPolicy::PA),
+            recompute: false,
+        });
+        let asy = async_pipe::estimate(&cm, &plan, m);
+        writeln!(
+            text,
+            "(1) sync (DAPPLE) vs async (PipeDream-style), BERT-48 2-stage:"
+        )
+        .unwrap();
+        writeln!(
+            text,
+            "    sync : {:>7.2} samples/s, peak {:>8}, staleness 0",
+            sync.throughput,
+            sync.peak_memory_max().to_string()
+        )
+        .unwrap();
+        writeln!(
+            text,
+            "    async: {:>7.2} samples/s, peak {:>8}, staleness {:?}, weight versions {:?}",
+            asy.throughput,
+            asy.peak_memory_max().to_string(),
+            asy.staleness,
+            asy.weight_versions
+        )
+        .unwrap();
+        writeln!(
+            text,
+            "    async gains {:.0}% throughput but stores {} extra weight bytes\n    and trains on stale gradients — the trade-off DAPPLE refuses (§I).",
+            (asy.throughput / sync.throughput - 1.0) * 100.0,
+            (asy.peak_memory_max().saturating_sub(sync.peak_memory_max()))
+        )
+        .unwrap();
+        writeln!(csv, "sync_vs_async,sync,throughput,{:.2}", sync.throughput).unwrap();
+        writeln!(csv, "sync_vs_async,async,throughput,{:.2}", asy.throughput).unwrap();
+        writeln!(
+            csv,
+            "sync_vs_async,sync,peak_gb,{:.2}",
+            sync.peak_memory_max().to_gb()
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "sync_vs_async,async,peak_gb,{:.2}",
+            asy.peak_memory_max().to_gb()
+        )
+        .unwrap();
+    }
+
+    // (2) placement-policy composition vs Fresh-First only.
+    writeln!(
+        text,
+        "\n(2) placement policies: all three vs Fresh-First only (Config A):"
+    )
+    .unwrap();
+    static FRESH_ONLY: [PlacementPolicy; 1] = [PlacementPolicy::FreshFirst];
+    for spec in [zoo::gnmt16(), zoo::amoebanet36()] {
+        let b = Bench::new(spec, Cluster::config_a(2));
+        let full = b.plan().expect("plannable");
+        let mut cfg = PlannerConfig::new(b.spec.global_batch);
+        cfg.policies = &FRESH_ONLY;
+        let fresh = DapplePlanner::new(&b.profile, &b.cluster, b.memory(), cfg)
+            .plan()
+            .expect("plannable");
+        writeln!(
+            text,
+            "    {:<14} all: {:>8.1} ms ({})   fresh-only: {:>8.1} ms ({})",
+            b.spec.name(),
+            full.latency_us / 1e3,
+            full.plan.notation(),
+            fresh.latency_us / 1e3,
+            fresh.plan.notation()
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "policies,all,{},{:.1}",
+            b.spec.name(),
+            full.latency_us / 1e3
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "policies,fresh_only,{},{:.1}",
+            b.spec.name(),
+            fresh.latency_us / 1e3
+        )
+        .unwrap();
+    }
+
+    // (3) pivot heuristic vs last-stage pivot: estimate error vs simulator
+    // on an uneven pipeline (heavy front stage).
+    {
+        let b = Bench::new(zoo::vgg19(), Cluster::config_c(16));
+        let cm = b.cost();
+        let plan = crate::common::plan_from(&[(0..16, 0..15), (16..19, 15..16)]);
+        let m = 64;
+        let sim = PipelineSim::new(&cm, &plan)
+            .run(SimConfig {
+                micro_batches: m,
+                schedule: Schedule::Dapple(KPolicy::PB),
+                recompute: false,
+            })
+            .makespan_us;
+        let lat = cm.stage_latencies(&plan.stages, m);
+        let smart = pipeline_latency(&lat, m);
+        let naive = pipeline_latency_with_pivot(&lat, m, lat.len() - 1);
+        let err = |v: f64| ((v - sim) / sim * 100.0).abs();
+        writeln!(
+            text,
+            "\n(3) pivot heuristic on VGG-19 15:1 (Config C), sim {:.1} ms:",
+            sim / 1e3
+        )
+        .unwrap();
+        writeln!(
+            text,
+            "    formula-3 pivot (Q = {}): {:>8.1} ms ({:>4.1}% error)",
+            smart.pivot,
+            smart.total_us() / 1e3,
+            err(smart.total_us())
+        )
+        .unwrap();
+        writeln!(
+            text,
+            "    last-stage pivot        : {:>8.1} ms ({:>4.1}% error)",
+            naive.total_us() / 1e3,
+            err(naive.total_us())
+        )
+        .unwrap();
+        writeln!(csv, "pivot,formula3,err_pct,{:.2}", err(smart.total_us())).unwrap();
+        writeln!(csv, "pivot,last_stage,err_pct,{:.2}", err(naive.total_us())).unwrap();
+    }
+
+    // (4) micro-batch sweep vs finest micro-batching on BERT-48 8:8.
+    {
+        let b = Bench::new(zoo::resnet50(), Cluster::config_a(2));
+        let cm = b.cost();
+        let plan = two_stage_plan(&cm, 8, 8);
+        let swept = cm.evaluate(&plan.stages, false);
+        let finest_m = cm.micro_batches(&plan.stages);
+        let finest = pipeline_latency(&cm.stage_latencies(&plan.stages, finest_m), finest_m);
+        writeln!(
+            text,
+            "\n(4) micro-batch selection on ResNet-50 8:8 (Config A):"
+        )
+        .unwrap();
+        writeln!(
+            text,
+            "    swept M = {:>4}: {:>8.1} ms    finest M = {:>4}: {:>8.1} ms ({:.2}x slower)",
+            swept.micro_batches,
+            swept.total_us() / 1e3,
+            finest_m,
+            finest.total_us() / 1e3,
+            finest.total_us() / swept.total_us()
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "microbatch,swept,latency_ms,{:.1}",
+            swept.total_us() / 1e3
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "microbatch,finest,latency_ms,{:.1}",
+            finest.total_us() / 1e3
+        )
+        .unwrap();
+    }
+
+    Report {
+        id: "ablations",
+        title: "Design-choice ablations (DESIGN.md §5)".into(),
+        text,
+        csv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(csv: &str, study: &str, variant: &str) -> f64 {
+        csv.lines()
+            .find(|l| l.starts_with(&format!("{study},{variant},")))
+            .and_then(|l| l.split(',').nth(3))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing {study}/{variant} in:\n{csv}"))
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "runs the full planner; slow unoptimized — use --release"
+    )]
+    fn ablations_have_expected_directions() {
+        let r = ablations();
+        // Async trades memory for throughput.
+        assert!(
+            metric(&r.csv, "sync_vs_async", "async") >= metric(&r.csv, "sync_vs_async", "sync")
+        );
+        // The full policy set never loses to fresh-only.
+        assert!(
+            metric(&r.csv, "policies", "all") <= metric(&r.csv, "policies", "fresh_only") * 1.001
+        );
+        // Formula-3 pivot estimates at least as well as the naive pivot.
+        assert!(
+            metric(&r.csv, "pivot", "formula3") <= metric(&r.csv, "pivot", "last_stage") + 1e-9
+        );
+        // The sweep never picks something slower than finest micro-batching.
+        assert!(
+            metric(&r.csv, "microbatch", "swept") <= metric(&r.csv, "microbatch", "finest") + 1e-6
+        );
+    }
+}

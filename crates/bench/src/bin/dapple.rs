@@ -1,0 +1,229 @@
+//! `dapple` — command-line planner and simulator.
+//!
+//! ```text
+//! dapple models
+//! dapple plan     --model bert48 --config a --servers 2 [--gbs 64]
+//! dapple simulate --model bert48 --config a --servers 2 \
+//!                 [--schedule gpipe|pa|pb] [--micro-batches M] [--recompute]
+//!                 [--trace out.json]
+//! ```
+//!
+//! `plan` runs the DAPPLE planner and prints the winning hybrid strategy
+//! with its latency breakdown; `simulate` executes the planned strategy in
+//! the discrete-event runtime and renders the schedule as an ASCII Gantt
+//! chart with memory statistics.
+
+use dapple_cluster::Cluster;
+use dapple_model::{zoo, ModelSpec};
+use dapple_planner::{CostModel, DapplePlanner, PlannerConfig};
+use dapple_profiler::{MemoryModel, ModelProfile};
+use dapple_sim::{render_timeline, KPolicy, PipelineSim, Schedule, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "models" => models(),
+        "plan" => plan(&args[1..]),
+        "simulate" => simulate(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: dapple <models|plan|simulate> [--model NAME] [--config a|b|c]\n\
+                 \x20              [--servers N] [--gbs N] [--schedule gpipe|pa|pb]\n\
+                 \x20              [--micro-batches M] [--recompute]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn models() {
+    println!(
+        "{:<16} {:>10} {:>10} {:>8} {:>10}",
+        "name", "layers", "params", "batch", "GBS"
+    );
+    for (key, spec) in zoo_entries() {
+        println!(
+            "{:<16} {:>10} {:>9.1}M {:>8} {:>10}",
+            key,
+            spec.graph.num_layers(),
+            spec.graph.total_params() as f64 / 1e6,
+            spec.profile_batch,
+            spec.global_batch
+        );
+    }
+}
+
+fn zoo_entries() -> Vec<(&'static str, ModelSpec)> {
+    vec![
+        ("resnet50", zoo::resnet50()),
+        ("vgg19", zoo::vgg19()),
+        ("gnmt16", zoo::gnmt16()),
+        ("bert48", zoo::bert48()),
+        ("bertlarge", zoo::bert_large()),
+        ("xlnet36", zoo::xlnet36()),
+        ("amoebanet36", zoo::amoebanet36()),
+    ]
+}
+
+struct Opts {
+    spec: ModelSpec,
+    cluster: Cluster,
+    gbs: usize,
+    schedule: Schedule,
+    micro_batches: Option<usize>,
+    recompute: bool,
+    trace: Option<String>,
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut model = "bert48".to_string();
+    let mut config = "a".to_string();
+    let mut servers: Option<usize> = None;
+    let mut gbs: Option<usize> = None;
+    let mut schedule = Schedule::Dapple(KPolicy::PA);
+    let mut micro_batches = None;
+    let mut recompute = false;
+    let mut trace = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{a} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--model" => model = val(),
+            "--config" => config = val().to_lowercase(),
+            "--servers" => servers = Some(parse_num(&val())),
+            "--gbs" => gbs = Some(parse_num(&val())),
+            "--micro-batches" | "-m" => micro_batches = Some(parse_num(&val())),
+            "--recompute" => recompute = true,
+            "--trace" => trace = Some(val()),
+            "--schedule" => {
+                schedule = match val().to_lowercase().as_str() {
+                    "gpipe" => Schedule::GPipe,
+                    "pa" => Schedule::Dapple(KPolicy::PA),
+                    "pb" => Schedule::Dapple(KPolicy::PB),
+                    s => fail(&format!("unknown schedule '{s}'")),
+                }
+            }
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+    }
+    let spec = zoo_entries()
+        .into_iter()
+        .find(|(k, _)| *k == model)
+        .unwrap_or_else(|| fail(&format!("unknown model '{model}'; see `dapple models`")))
+        .1;
+    let cluster = match config.as_str() {
+        "a" => Cluster::config_a(servers.unwrap_or(2)),
+        "b" => Cluster::config_b(servers.unwrap_or(16)),
+        "c" => Cluster::config_c(servers.unwrap_or(16)),
+        c => fail(&format!("unknown config '{c}' (a, b or c)")),
+    };
+    let gbs = gbs.unwrap_or(spec.global_batch);
+    Opts {
+        spec,
+        cluster,
+        gbs,
+        schedule,
+        micro_batches,
+        recompute,
+        trace,
+    }
+}
+
+fn parse_num(s: &str) -> usize {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("'{s}' is not a number")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn plan(args: &[String]) {
+    let o = parse(args);
+    let profile = ModelProfile::profile(&o.spec.graph, &o.cluster.device);
+    let memory = MemoryModel::new(o.spec.optimizer);
+    let planner = DapplePlanner::new(&profile, &o.cluster, memory, PlannerConfig::new(o.gbs));
+    println!(
+        "planning {} on {} at GBS {} ...",
+        o.spec.name(),
+        o.cluster.name,
+        o.gbs
+    );
+    match planner.plan() {
+        Ok(s) => {
+            let single = planner.cost_model().single_device_us();
+            println!(
+                "plan     : {} (split {})",
+                s.plan.notation(),
+                s.plan.split_notation()
+            );
+            for (i, st) in s.plan.stages.iter().enumerate() {
+                println!(
+                    "  stage {i}: layers {:>3}..{:<3} on {} device(s)",
+                    st.layers.start,
+                    st.layers.end,
+                    st.devices.len()
+                );
+            }
+            println!(
+                "M        : {} micro-batches, ACR {:.2}",
+                s.micro_batches, s.acr
+            );
+            println!(
+                "latency  : {:.2} ms (warmup {:.1} + steady {:.1} + drain {:.1} + ending {:.1})",
+                s.latency_us / 1e3,
+                s.breakdown.warmup_us / 1e3,
+                s.breakdown.steady_us / 1e3,
+                s.breakdown.drain_us / 1e3,
+                s.breakdown.ending_us / 1e3
+            );
+            println!("speedup  : {:.2}x over one device", s.speedup(single));
+        }
+        Err(e) => fail(&format!("{e}")),
+    }
+}
+
+fn simulate(args: &[String]) {
+    let o = parse(args);
+    let profile = ModelProfile::profile(&o.spec.graph, &o.cluster.device);
+    let memory = MemoryModel::new(o.spec.optimizer);
+    let planner = DapplePlanner::new(&profile, &o.cluster, memory, PlannerConfig::new(o.gbs));
+    let strategy = planner.plan().unwrap_or_else(|e| fail(&format!("{e}")));
+    let cost = CostModel::new(&profile, &o.cluster, memory, o.gbs);
+    let m = o.micro_batches.unwrap_or(strategy.micro_batches);
+    let run = PipelineSim::new(&cost, &strategy.plan).run(SimConfig {
+        micro_batches: m,
+        schedule: o.schedule,
+        recompute: o.recompute,
+    });
+    println!(
+        "{} on {}: plan {} | {} | M = {m}{}",
+        o.spec.name(),
+        o.cluster.name,
+        strategy.plan.notation(),
+        o.schedule,
+        if o.recompute { " | re-computation" } else { "" }
+    );
+    print!("{}", render_timeline(&run, 100));
+    if let Some(path) = &o.trace {
+        std::fs::write(path, dapple_sim::to_chrome_trace(&run))
+            .unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+        println!("chrome trace written to {path} (open in ui.perfetto.dev)");
+    }
+    println!(
+        "throughput {:.1} samples/s | per-stage peak: {}{}",
+        run.throughput,
+        run.peak_mem
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        if run.oom { " | OOM!" } else { "" }
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # every experiment
+//! repro table5 fig12        # a subset
+//! repro --list              # available experiment ids
+//! ```
+//!
+//! Plain-text reports go to stdout; CSVs are written to `reports/`.
+
+use dapple_bench::all_experiments;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &experiments {
+            println!("{id}");
+        }
+        return;
+    }
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments.iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let out_dir = std::path::Path::new("reports");
+    std::fs::create_dir_all(out_dir).expect("create reports/");
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for id in selected {
+        let Some((_, run)) = experiments.iter().find(|(eid, _)| *eid == id) else {
+            eprintln!("unknown experiment '{id}'; use --list");
+            std::process::exit(2);
+        };
+        let started = std::time::Instant::now();
+        let report = run();
+        writeln!(lock, "{}", report.render()).expect("stdout");
+        writeln!(lock, "  [{} in {:.1?}]\n", report.id, started.elapsed()).expect("stdout");
+        let path = out_dir.join(format!("{}.csv", report.id));
+        std::fs::write(&path, &report.csv).expect("write csv");
+    }
+}

@@ -1,0 +1,567 @@
+//! Regeneration of Tables I–VIII.
+
+use crate::common::{plan_from, two_stage_plan, Bench, Report};
+use dapple_cluster::Cluster;
+use dapple_model::{zoo, ModelSpec};
+use dapple_planner::CostModel;
+use dapple_profiler::{MemoryModel, ModelProfile};
+use dapple_sim::{KPolicy, PipelineSim, Schedule, SimConfig};
+use std::fmt::Write as _;
+
+/// Table I: traffic volume — boundary activation vs gradient size.
+pub fn table1() -> Report {
+    // (spec, boundary layer index of the Table V config-A split)
+    let rows: Vec<(ModelSpec, usize)> = vec![
+        (zoo::gnmt16(), 9),
+        (zoo::bert48(), 24),
+        (zoo::xlnet36(), 18),
+        (zoo::amoebanet36(), 24),
+        (zoo::vgg19(), 16),
+    ];
+    let mut text = format!(
+        "{:<16} {:>22} {:>15}\n",
+        "Benchmark", "Boundary act (profile)", "Gradient size"
+    );
+    let mut csv = String::from("model,boundary_act_mb,gradient_gb\n");
+    for (spec, boundary) in rows {
+        let act = spec
+            .graph
+            .boundary_act(boundary)
+            .scale(spec.profile_batch as f64);
+        let grad = spec.graph.total_param_bytes();
+        writeln!(
+            text,
+            "{:<16} {:>22} {:>15}",
+            spec.name(),
+            act.to_string(),
+            grad.to_string()
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "{},{:.1},{:.2}",
+            spec.name(),
+            act.to_mb(),
+            grad.to_gb()
+        )
+        .unwrap();
+    }
+    Report {
+        id: "table1",
+        title: "Traffic volume: boundary activations vs gradients".into(),
+        text,
+        csv,
+    }
+}
+
+/// Table II: benchmark models — parameters and training memory cost.
+pub fn table2() -> Report {
+    let mut text = format!(
+        "{:<16} {:>10} {:>8} {:>14}\n",
+        "Model", "# Params", "Batch", "Memory Cost"
+    );
+    let mut csv = String::from("model,params_m,profile_batch,memory_gb\n");
+    for spec in zoo::table_v_models() {
+        let device = dapple_cluster::DeviceSpec::v100();
+        let profile = ModelProfile::profile(&spec.graph, &device);
+        let mm = MemoryModel::new(spec.optimizer);
+        let mem = mm.full_model_bytes(&profile, spec.profile_batch);
+        let params_m = spec.graph.total_params() as f64 / 1e6;
+        writeln!(
+            text,
+            "{:<16} {:>9.1}M {:>8} {:>14}",
+            spec.name(),
+            params_m,
+            spec.profile_batch,
+            mem.to_string()
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "{},{:.1},{},{:.2}",
+            spec.name(),
+            params_m,
+            spec.profile_batch,
+            mem.to_gb()
+        )
+        .unwrap();
+    }
+    Report {
+        id: "table2",
+        title: "Benchmark models (params, profile batch, memory)".into(),
+        text,
+        csv,
+    }
+}
+
+/// Table III: hardware configurations.
+pub fn table3() -> Report {
+    let configs = [
+        Cluster::config_a(2),
+        Cluster::config_b(16),
+        Cluster::config_c(16),
+    ];
+    let mut text = format!(
+        "{:<18} {:>12} {:>18} {:>18}\n",
+        "Config", "GPUs/server", "Intra-server", "Inter-server"
+    );
+    let mut csv = String::from("config,gpus_per_server,intra_gbps,inter_gbps\n");
+    for c in configs {
+        let intra = c.intra.bandwidth * 8.0 / 1e9;
+        let inter = c.inter.bandwidth * 8.0 / 1e9;
+        writeln!(
+            text,
+            "{:<18} {:>12} {:>13.0} Gbps {:>13.0} Gbps",
+            c.name, c.machines[0], intra, inter
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "{},{},{:.0},{:.0}",
+            c.name, c.machines[0], intra, inter
+        )
+        .unwrap();
+    }
+    Report {
+        id: "table3",
+        title: "Hardware configurations (Table III)".into(),
+        text,
+        csv,
+    }
+}
+
+/// Table IV: scheduling policy PB vs PA, normalized training throughput
+/// on Config A (2x8) with two-stage 8:8 plans.
+pub fn table4() -> Report {
+    let specs = [zoo::bert48(), zoo::xlnet36(), zoo::vgg19(), zoo::gnmt16()];
+    let mut text = format!("{:<12} {:>8} {:>8} {:>10}\n", "Model", "PA", "PB", "PB/PA");
+    let mut csv = String::from("model,pa_throughput,pb_throughput,speedup\n");
+    for spec in specs {
+        let name = spec.name().to_string();
+        let b = Bench::new(spec, Cluster::config_a(2));
+        let cm = b.cost();
+        let plan = two_stage_plan(&cm, 8, 8);
+        // Moderate micro-batch count: the regime the paper measures in,
+        // where warmup depth K_i is a visible fraction of the iteration.
+        let m = 8usize;
+        let sim = PipelineSim::new(&cm, &plan);
+        let run = |policy| {
+            sim.run(SimConfig {
+                micro_batches: m,
+                schedule: Schedule::Dapple(policy),
+                recompute: false,
+            })
+            .throughput
+        };
+        let pa = run(KPolicy::PA);
+        let pb = run(KPolicy::PB);
+        writeln!(
+            text,
+            "{:<12} {:>8.1} {:>8.1} {:>10.2}",
+            name,
+            pa,
+            pb,
+            pb / pa
+        )
+        .unwrap();
+        writeln!(csv, "{name},{pa:.2},{pb:.2},{:.3}", pb / pa).unwrap();
+    }
+    Report {
+        id: "table4",
+        title: "Scheduling policy PB vs PA (normalized throughput, Config A)".into(),
+        text,
+        csv,
+    }
+}
+
+/// Table V: DAPPLE planning results over the full zoo x Config A/B/C.
+pub fn table5() -> Report {
+    // Paper's published cells for side-by-side comparison.
+    let paper: &[(&str, &str, &str)] = &[
+        ("ResNet-50", "A", "DP"),
+        ("ResNet-50", "B", "DP"),
+        ("ResNet-50", "C", "DP"),
+        ("VGG-19", "A", "DP"),
+        ("VGG-19", "B", "DP"),
+        ("VGG-19", "C", "15:1 @13:6"),
+        ("GNMT-16", "A", "8:8 @9:7"),
+        ("GNMT-16", "B", "8:8 @9:7"),
+        ("GNMT-16", "C", "Straight"),
+        ("BERT-48", "A", "8:8 @23:25"),
+        ("BERT-48", "B", "Straight"),
+        ("BERT-48", "C", "Straight"),
+        ("XLNet-36", "A", "8:8 @18:18"),
+        ("XLNet-36", "B", "8:8 @18:18"),
+        ("XLNet-36", "C", "Straight"),
+        ("AmoebaNet-36", "A", "8:8 @24:12"),
+        ("AmoebaNet-36", "B", "11:5 @27:9"),
+        ("AmoebaNet-36", "C", "11:5 @27:9"),
+    ];
+    let configs = [
+        ("A", Cluster::config_a(2)),
+        ("B", Cluster::config_b(16)),
+        ("C", Cluster::config_c(16)),
+    ];
+    let mut text = format!(
+        "{:<14} {:>6} {:<3} {:<22} {:<14} {:>6}   {:<16}\n",
+        "Model", "GBS", "Cfg", "Plan (ours)", "Split", "ACR", "Paper"
+    );
+    let mut csv = String::from("model,gbs,config,plan,split,acr,micro_batches,latency_ms,paper\n");
+    for spec in zoo::table_v_models() {
+        for (cname, cluster) in &configs {
+            let b = Bench::new(spec.clone(), cluster.clone());
+            let expected = paper
+                .iter()
+                .find(|(m, c, _)| *m == spec.name() && c == cname)
+                .map(|(_, _, p)| *p)
+                .unwrap_or("-");
+            match b.plan() {
+                Ok(s) => {
+                    let notation = s.plan.notation();
+                    let notation_short = if notation.len() > 22 {
+                        format!("{}-stage", s.plan.num_stages())
+                    } else {
+                        notation.clone()
+                    };
+                    writeln!(
+                        text,
+                        "{:<14} {:>6} {:<3} {:<22} {:<14} {:>6.2}   {:<16}",
+                        spec.name(),
+                        spec.global_batch,
+                        cname,
+                        notation_short,
+                        truncate(&s.plan.split_notation(), 14),
+                        s.acr,
+                        expected
+                    )
+                    .unwrap();
+                    writeln!(
+                        csv,
+                        "{},{},{},{},{},{:.3},{},{:.1},{}",
+                        spec.name(),
+                        spec.global_batch,
+                        cname,
+                        notation.replace(" : ", ":"),
+                        s.plan.split_notation().replace(" : ", ":"),
+                        s.acr,
+                        s.micro_batches,
+                        s.latency_us / 1e3,
+                        expected
+                    )
+                    .unwrap();
+                }
+                Err(e) => {
+                    writeln!(
+                        text,
+                        "{:<14} {:>6} {:<3} ERROR: {e}",
+                        spec.name(),
+                        spec.global_batch,
+                        cname
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+    Report {
+        id: "table5",
+        title: "DAPPLE planning results (ours vs paper Table V)".into(),
+        text,
+        csv,
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}..", &s[..n - 2])
+    }
+}
+
+/// Table VI: DAPPLE vs GPipe on BERT-48, two-stage pipeline, micro-batch
+/// size fixed at 2, Config B — throughput and average peak memory.
+pub fn table6() -> Report {
+    let spec = zoo::bert48();
+    let cluster = Cluster::config_b(2);
+    let b = Bench::new(spec, cluster);
+    let mut text = format!(
+        "{:<14} {:>4} {:>22} {:>20} {:>6}\n",
+        "Config", "M", "Throughput (samp/s)", "Avg peak mem (GB)", "OOM"
+    );
+    let mut csv = String::from("schedule,recompute,m,throughput,avg_peak_gb,oom\n");
+    let cases: Vec<(&str, Schedule, bool, Vec<usize>)> = vec![
+        ("GPipe", Schedule::GPipe, false, vec![2, 8, 16, 32]),
+        ("GPipe + RC", Schedule::GPipe, true, vec![2, 5, 8, 16]),
+        (
+            "DAPPLE",
+            Schedule::Dapple(KPolicy::PA),
+            false,
+            vec![2, 8, 16, 32],
+        ),
+        (
+            "DAPPLE + RC",
+            Schedule::Dapple(KPolicy::PA),
+            true,
+            vec![2, 8, 16],
+        ),
+    ];
+    for (name, schedule, recompute, ms) in cases {
+        for m in ms {
+            // Micro-batch size fixed to 2 => GBS = 2 * M.
+            let cm = b.cost_at(2 * m);
+            let plan = two_stage_plan(&cm, 1, 1);
+            let run = PipelineSim::new(&cm, &plan).run(SimConfig {
+                micro_batches: m,
+                schedule,
+                recompute,
+            });
+            writeln!(
+                text,
+                "{:<14} {:>4} {:>22.2} {:>20.2} {:>6}",
+                name,
+                m,
+                run.throughput,
+                run.peak_memory_avg().to_gib(),
+                if run.oom { "OOM" } else { "" }
+            )
+            .unwrap();
+            writeln!(
+                csv,
+                "{name},{recompute},{m},{:.2},{:.2},{}",
+                run.throughput,
+                run.peak_memory_avg().to_gib(),
+                run.oom
+            )
+            .unwrap();
+        }
+    }
+    Report {
+        id: "table6",
+        title: "DAPPLE vs GPipe on BERT-48 (2-stage, micro-batch 2, Config B)".into(),
+        text,
+        csv,
+    }
+}
+
+/// Table VII: strategy comparison DAPPLE vs PipeDream on Config A (2x8).
+pub fn table7() -> Report {
+    let vgg_1024 = {
+        let mut v = zoo::vgg19();
+        v.global_batch = 1024; // Table VII runs VGG-19 at GBS 1024
+        v
+    };
+    let specs = [
+        vgg_1024,
+        zoo::amoebanet36(),
+        zoo::bert_large(),
+        zoo::xlnet36(),
+    ];
+    let mut text = String::new();
+    let mut csv = String::from("model,planner,stages\n");
+    for spec in specs {
+        let name = spec.name().to_string();
+        let b = Bench::new(spec, Cluster::config_a(2));
+        let cm = b.cost();
+        let dapple = b.plan();
+        let pd = dapple_planner::pipedream::plan(&cm, b.spec.profile_batch as f64);
+        writeln!(text, "{name} (GBS {}):", b.spec.global_batch).unwrap();
+        let render = |plan: &dapple_core::Plan| -> String {
+            plan.stages
+                .iter()
+                .map(|s| {
+                    format!(
+                        "({},{}) @ {} GPU{}",
+                        s.layers.start,
+                        s.layers.end,
+                        s.devices.len(),
+                        if s.devices.len() == 1 { "" } else { "s" }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        match &dapple {
+            Ok(s) => {
+                writeln!(text, "  DAPPLE:    {}", render(&s.plan)).unwrap();
+                writeln!(csv, "{name},dapple,\"{}\"", render(&s.plan)).unwrap();
+            }
+            Err(e) => writeln!(text, "  DAPPLE:    ERROR {e}").unwrap(),
+        }
+        match &pd {
+            Ok(p) => {
+                writeln!(text, "  PipeDream: {}", render(p)).unwrap();
+                writeln!(csv, "{name},pipedream,\"{}\"", render(p)).unwrap();
+            }
+            Err(e) => writeln!(text, "  PipeDream: ERROR {e}").unwrap(),
+        }
+    }
+    Report {
+        id: "table7",
+        title: "Strategy comparison: DAPPLE vs PipeDream (Config A 2x8)".into(),
+        text,
+        csv,
+    }
+}
+
+/// Table VIII: weak scaling — maximum BERT size per pipeline depth with
+/// re-computation on Config A.
+pub fn table8() -> Report {
+    let mut text = format!(
+        "{:<12} {:>8} {:>12} {:>16} {:>12}\n",
+        "Config", "BERT-L", "Params", "Model state", "Avg GPU util"
+    );
+    let mut csv = String::from("pipeline,depth,layers,params_b,state_gb,util\n");
+    for depth in [1usize, 2, 4, 8] {
+        let layers = max_bert_layers(depth);
+        let spec = zoo::bert(layers);
+        let cluster = Cluster::config_a(1);
+        let b = Bench::new(spec, cluster);
+        let params_b = b.spec.graph.total_params() as f64 / 1e9;
+        let state = MemoryModel::new(b.spec.optimizer)
+            .state_bytes(&b.profile, 0..layers)
+            .to_gb();
+        // Utilization of the straight pipeline with plenty of micro-batches.
+        let util = if depth == 1 {
+            let cm = b.cost_at(32);
+            let plan = plan_from(&[(0..layers, 0..1)]);
+            PipelineSim::new(&cm, &plan)
+                .run(SimConfig {
+                    micro_batches: 16,
+                    schedule: Schedule::Dapple(KPolicy::PA),
+                    recompute: true,
+                })
+                .utilization()
+        } else {
+            let cm = b.cost_at(64);
+            let plan = even_straight(&cm, depth);
+            PipelineSim::new(&cm, &plan)
+                .run(SimConfig {
+                    micro_batches: 32,
+                    schedule: Schedule::Dapple(KPolicy::PB),
+                    recompute: true,
+                })
+                .utilization()
+        };
+        let name = if depth == 1 {
+            "Native-1".to_string()
+        } else {
+            format!("Pipeline-{depth}")
+        };
+        writeln!(
+            text,
+            "{:<12} {:>8} {:>11.2}B {:>15.1}GB {:>11.0}%",
+            name,
+            layers,
+            params_b,
+            state,
+            util * 100.0
+        )
+        .unwrap();
+        writeln!(
+            csv,
+            "{name},{depth},{layers},{params_b:.2},{state:.1},{util:.3}"
+        )
+        .unwrap();
+    }
+    Report {
+        id: "table8",
+        title: "Weak scaling: max BERT size with re-computation (16 GB V100s)".into(),
+        text,
+        csv,
+    }
+}
+
+/// Largest BERT unit count whose straight `depth`-stage pipeline fits
+/// 16 GB devices with re-computation at micro-batch 2.
+fn max_bert_layers(depth: usize) -> usize {
+    let device = dapple_cluster::DeviceSpec::v100();
+    let fits = |layers: usize| -> bool {
+        let spec = zoo::bert(layers);
+        let profile = ModelProfile::profile(&spec.graph, &device);
+        let mm = MemoryModel::new(spec.optimizer);
+        // Even split; the heaviest stage is ceil(layers / depth) units.
+        let per = layers.div_ceil(depth);
+        // Live micro-batches under PB: up to 2 * depth - 1 boundary acts.
+        let live = (2 * depth).saturating_sub(1);
+        mm.check_fits(&profile, 0..per, 2.0, live, true, &device)
+            .is_ok()
+    };
+    let mut lo = 2usize; // known-fitting
+    let mut hi = 2048usize;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Straight pipeline over `s` stages with bottleneck-balanced splits.
+fn even_straight(cm: &CostModel<'_>, s: usize) -> dapple_core::Plan {
+    dapple_planner::even::plan(cm, s).expect("even split")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_models() {
+        let r = table1();
+        for m in ["GNMT-16", "BERT-48", "XLNet-36", "AmoebaNet-36", "VGG-19"] {
+            assert!(r.text.contains(m), "{m} missing");
+        }
+        assert_eq!(r.csv.lines().count(), 6);
+    }
+
+    #[test]
+    fn table3_lists_three_configs() {
+        let r = table3();
+        assert!(r.text.contains("Config-A"));
+        assert!(r.text.contains("Config-B"));
+        assert!(r.text.contains("Config-C"));
+    }
+
+    #[test]
+    fn table6_shape_holds() {
+        let r = table6();
+        // DAPPLE rows exist for M=16 while GPipe peak grows with M.
+        assert!(r.text.contains("DAPPLE"));
+        let lines: Vec<&str> = r.csv.lines().skip(1).collect();
+        let peak = |sched: &str, m: usize| -> f64 {
+            lines
+                .iter()
+                .find(|l| l.starts_with(&format!("{sched},false,{m},")))
+                .map(|l| l.split(',').nth(4).unwrap().parse().unwrap())
+                .unwrap()
+        };
+        assert!(peak("GPipe", 16) > peak("GPipe", 2));
+        assert!((peak("DAPPLE", 16) - peak("DAPPLE", 2)).abs() < 0.01);
+        assert!(peak("DAPPLE", 16) < peak("GPipe", 16));
+    }
+
+    #[test]
+    fn table8_scales_model_size_linearly() {
+        let r = table8();
+        let layers: Vec<usize> = r
+            .csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(layers.len(), 4);
+        for w in layers.windows(2) {
+            assert!(w[1] > w[0], "deeper pipelines must fit bigger models");
+        }
+        // Doubling devices roughly doubles the maximum model.
+        let ratio = layers[3] as f64 / layers[1] as f64;
+        assert!(
+            ratio > 2.8 && ratio < 5.0,
+            "pipeline-8/pipeline-2 = {ratio}"
+        );
+    }
+}

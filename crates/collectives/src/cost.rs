@@ -1,0 +1,217 @@
+//! Analytic communication cost models.
+
+use dapple_cluster::Cluster;
+use dapple_core::{Bytes, DeviceId};
+
+/// Fixed kernel-launch/split-concat overhead added per boundary transfer
+/// that needs re-batching (§V-B2: split/concat is cheaper than the tail
+/// effect, but not free).
+pub const SPLIT_CONCAT_OVERHEAD_US: f64 = 30.0;
+
+/// Ring all-reduce time over `devices` for `bytes` of gradients, in µs.
+///
+/// * Zero or one device: free — no synchronization needed.
+/// * All devices on one machine: a single ring on the intra-machine link,
+///   `2 (n-1)/n * bytes / bw` plus per-step latencies.
+/// * Spanning machines: hierarchical — a local ring per machine (largest
+///   local group dominates) followed by an inter-machine ring on the full
+///   payload, then a local broadcast folded into the all-gather phase.
+///   The inter-machine phase almost always dominates on Ethernet.
+pub fn allreduce_us(bytes: Bytes, devices: &[DeviceId], cluster: &Cluster) -> f64 {
+    let n = devices.len();
+    if n <= 1 || bytes == Bytes::ZERO {
+        return 0.0;
+    }
+    let machines = cluster.machines_spanned(devices);
+    let b = bytes.as_f64();
+    if machines == 1 {
+        let link = &cluster.intra;
+        ring_us(b, n, link.bandwidth, link.latency_us)
+    } else {
+        // Largest per-machine replica group for the local phase.
+        let mut per_machine = std::collections::BTreeMap::new();
+        for &d in devices {
+            *per_machine.entry(cluster.machine_of(d)).or_insert(0usize) += 1;
+        }
+        let max_local = per_machine.values().copied().max().unwrap_or(1);
+        let local = if max_local > 1 {
+            ring_us(
+                b,
+                max_local,
+                cluster.intra.bandwidth,
+                cluster.intra.latency_us,
+            )
+        } else {
+            0.0
+        };
+        let inter = ring_us(
+            b,
+            machines,
+            cluster.inter.bandwidth,
+            cluster.inter.latency_us,
+        );
+        local + inter
+    }
+}
+
+/// Canonical ring all-reduce: reduce-scatter + all-gather.
+fn ring_us(bytes: f64, n: usize, bandwidth: f64, latency_us: f64) -> f64 {
+    debug_assert!(n >= 2);
+    let steps = 2.0 * (n - 1) as f64;
+    let volume = 2.0 * (n - 1) as f64 / n as f64 * bytes;
+    steps * latency_us + volume / bandwidth * 1e6
+}
+
+/// Point-to-point transfer time between two devices, in µs.
+pub fn p2p_us(bytes: Bytes, from: DeviceId, to: DeviceId, cluster: &Cluster) -> f64 {
+    if from == to {
+        return 0.0;
+    }
+    cluster.link_between(from, to).transfer_us(bytes)
+}
+
+/// Cross-stage boundary transfer for one micro-batch, in µs.
+///
+/// `bytes` is the activation for the whole micro-batch. The sending stage
+/// holds it sliced across `senders` replicas, the receiving stage wants it
+/// sliced across `receivers` replicas (Fig. 9). Each sender emits
+/// `bytes / senders`, each receiver absorbs `bytes / receivers`; the
+/// transfer is bound by the fuller of the two ends on the slowest link
+/// between the stages. A split/concat overhead applies whenever the
+/// replication factors differ.
+pub fn cross_stage_us(
+    bytes: Bytes,
+    senders: &[DeviceId],
+    receivers: &[DeviceId],
+    cluster: &Cluster,
+) -> f64 {
+    if senders.is_empty() || receivers.is_empty() || bytes == Bytes::ZERO {
+        return 0.0;
+    }
+    // Slowest link between any sender/receiver pair.
+    let mut link = &cluster.intra;
+    let mut found_inter = false;
+    'outer: for &s in senders {
+        for &r in receivers {
+            if s != r && !cluster.same_machine(s, r) {
+                link = &cluster.inter;
+                found_inter = true;
+                break 'outer;
+            }
+        }
+    }
+    if !found_inter && senders.len() == 1 && receivers.len() == 1 && senders[0] == receivers[0] {
+        return 0.0;
+    }
+    // The fuller end moves bytes / min(senders, receivers) per device.
+    let per_end = bytes.as_f64() / senders.len().min(receivers.len()) as f64;
+    let t = link.latency_us + per_end / link.bandwidth * 1e6;
+    if senders.len() != receivers.len() {
+        t + SPLIT_CONCAT_OVERHEAD_US
+    } else {
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapple_cluster::Cluster;
+
+    fn devs(r: std::ops::Range<u32>) -> Vec<DeviceId> {
+        r.map(DeviceId).collect()
+    }
+
+    #[test]
+    fn allreduce_trivial_cases_are_free() {
+        let c = Cluster::config_a(2);
+        assert_eq!(allreduce_us(Bytes::gb(1.0), &[], &c), 0.0);
+        assert_eq!(allreduce_us(Bytes::gb(1.0), &[DeviceId(0)], &c), 0.0);
+        assert_eq!(allreduce_us(Bytes::ZERO, &devs(0..8), &c), 0.0);
+    }
+
+    #[test]
+    fn intra_machine_ring_matches_formula() {
+        let c = Cluster::config_a(2);
+        let bytes = Bytes::gb(1.0);
+        let t = allreduce_us(bytes, &devs(0..8), &c);
+        let expect = 2.0 * 7.0 / 8.0 * 1e9 / 130.0e9 * 1e6 + 14.0 * c.intra.latency_us;
+        assert!((t - expect).abs() < 1.0, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn spanning_allreduce_is_much_slower() {
+        let c = Cluster::config_a(2);
+        let bytes = Bytes::gb(2.56); // BERT-48 gradients
+        let within = allreduce_us(bytes, &devs(0..8), &c);
+        let spanning = allreduce_us(bytes, &devs(0..16), &c);
+        assert!(
+            spanning > 10.0 * within,
+            "spanning {spanning} vs within {within}"
+        );
+        // Inter phase: ring over 2 machines = 2*(1/2)*bytes / 3.125 GB/s.
+        let inter_only = 2.56e9 / 3.125e9 * 1e6;
+        assert!(spanning > inter_only * 0.9);
+    }
+
+    #[test]
+    fn flat_cluster_ring_uses_ethernet() {
+        let c = Cluster::config_b(16);
+        let t = allreduce_us(Bytes::gb(1.0), &devs(0..16), &c);
+        // 16 single-device machines: hierarchical = pure inter ring over 16.
+        let expect = 2.0 * 15.0 / 16.0 * 1e9 / 3.125e9 * 1e6 + 30.0 * c.inter.latency_us;
+        assert!((t - expect).abs() / expect < 0.01, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn allreduce_monotone_in_bytes_and_slower_on_10gbps() {
+        let b25 = Cluster::config_b(8);
+        let c10 = Cluster::config_c(8);
+        let small = allreduce_us(Bytes::mb(100.0), &devs(0..8), &b25);
+        let big = allreduce_us(Bytes::mb(200.0), &devs(0..8), &b25);
+        assert!(big > small);
+        let slow = allreduce_us(Bytes::mb(100.0), &devs(0..8), &c10);
+        assert!(slow > small * 2.0);
+    }
+
+    #[test]
+    fn p2p_zero_for_same_device() {
+        let c = Cluster::config_a(2);
+        assert_eq!(p2p_us(Bytes::mb(1.0), DeviceId(0), DeviceId(0), &c), 0.0);
+        let intra = p2p_us(Bytes::mb(8.8), DeviceId(0), DeviceId(1), &c);
+        let inter = p2p_us(Bytes::mb(8.8), DeviceId(0), DeviceId(8), &c);
+        assert!(inter > intra);
+        // 8.8 MB over 25 Gbps ~ 2.8 ms.
+        assert!((inter / 1e3 - 2.8).abs() < 0.15, "{inter}");
+    }
+
+    #[test]
+    fn cross_stage_equal_replication_has_no_split_concat() {
+        let c = Cluster::config_a(2);
+        let t_eq = cross_stage_us(Bytes::mb(8.0), &devs(0..8), &devs(8..16), &c);
+        let t_uneq = cross_stage_us(Bytes::mb(8.0), &devs(0..8), &devs(8..12), &c);
+        // Equal 8->8: each link carries 1 MB slices. Unequal 8->4: the
+        // receiving end absorbs 2 MB per device plus split/concat overhead.
+        assert!(t_uneq > t_eq);
+        let eq_expect = c.inter.latency_us + 1.0e6 / c.inter.bandwidth * 1e6;
+        assert!((t_eq - eq_expect).abs() < 1.0, "{t_eq} vs {eq_expect}");
+    }
+
+    #[test]
+    fn cross_stage_one_to_one_uses_full_payload() {
+        let c = Cluster::config_b(2);
+        let t = cross_stage_us(Bytes::mb(26.0), &[DeviceId(0)], &[DeviceId(1)], &c);
+        let expect = c.inter.latency_us + 26.0e6 / c.inter.bandwidth * 1e6;
+        assert!((t - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn cross_stage_empty_or_zero_is_free() {
+        let c = Cluster::config_b(2);
+        assert_eq!(
+            cross_stage_us(Bytes::ZERO, &[DeviceId(0)], &[DeviceId(1)], &c),
+            0.0
+        );
+        assert_eq!(cross_stage_us(Bytes::mb(1.0), &[], &[DeviceId(1)], &c), 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # dapple-collectives
+//!
+//! Communication: analytic cost models used by the planner/simulator, and a
+//! real multi-threaded ring all-reduce used by the CPU training engine.
+//!
+//! The cost model covers the three patterns DAPPLE needs:
+//!
+//! * **AllReduce** — gradient synchronization across a replicated stage
+//!   (ring within a machine, hierarchical when the replica set spans
+//!   machines), the `AR(P_s, g_s)` term of the paper's ending-phase formula;
+//! * **peer-to-peer** — activations crossing a stage boundary;
+//! * **split/concat** — the one-to-many / many-to-one / many-to-many
+//!   boundary traffic between stages with different replication (§V-B2,
+//!   Fig. 9).
+
+pub mod cost;
+pub mod ring;
+
+pub use cost::{allreduce_us, cross_stage_us, p2p_us, SPLIT_CONCAT_OVERHEAD_US};
+pub use ring::{allreduce_mean, allreduce_sum};

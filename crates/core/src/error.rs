@@ -1,0 +1,57 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DappleError>;
+
+/// Errors produced by the DAPPLE planner, profiler, simulator and engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DappleError {
+    /// A requested configuration is structurally invalid (bad layer range,
+    /// zero devices, zero micro-batches, ...).
+    InvalidConfig(String),
+    /// Device memory capacity would be exceeded.
+    ///
+    /// Carries a human-readable description of what overflowed where.
+    OutOfMemory(String),
+    /// The planner could not produce any feasible plan.
+    NoFeasiblePlan(String),
+    /// Device allocation failed (not enough free devices for a policy).
+    AllocationFailed(String),
+    /// An engine-level shape mismatch (tensor dims, stage wiring).
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for DappleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DappleError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            DappleError::OutOfMemory(m) => write!(f, "out of device memory: {m}"),
+            DappleError::NoFeasiblePlan(m) => write!(f, "no feasible plan: {m}"),
+            DappleError::AllocationFailed(m) => write!(f, "device allocation failed: {m}"),
+            DappleError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DappleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = DappleError::OutOfMemory("stage 0 needs 20 GB on a 16 GB device".into());
+        let s = e.to_string();
+        assert!(s.contains("out of device memory"));
+        assert!(s.contains("20 GB"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DappleError::InvalidConfig("x".into()));
+    }
+}

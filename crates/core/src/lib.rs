@@ -1,0 +1,26 @@
+//! # dapple-core
+//!
+//! Shared vocabulary types for the DAPPLE reproduction (Fan et al.,
+//! *DAPPLE: A Pipelined Data Parallel Approach for Training Large Models*,
+//! PPoPP 2021).
+//!
+//! Every other crate in the workspace builds on the types defined here:
+//!
+//! * strongly-typed identifiers ([`DeviceId`], [`MachineId`], [`LayerId`],
+//!   [`StageId`]) so that device indices, machine indices and layer indices
+//!   cannot be accidentally mixed;
+//! * physical quantities ([`Bytes`], [`TimeUs`]) with unit-preserving
+//!   arithmetic and human-readable formatting;
+//! * the parallelization [`plan::Plan`] produced by the planner and consumed
+//!   by the simulator and the engine;
+//! * the workspace-wide error type [`DappleError`].
+
+pub mod error;
+pub mod ids;
+pub mod plan;
+pub mod quantity;
+
+pub use error::{DappleError, Result};
+pub use ids::{DeviceId, LayerId, MachineId, StageId};
+pub use plan::{Plan, PlanKind, StagePlan};
+pub use quantity::{Bytes, TimeUs};

@@ -1,0 +1,356 @@
+//! Physical quantities: byte counts and durations.
+//!
+//! The planner and simulator shuffle tensor sizes and task durations around
+//! constantly; dedicated newtypes keep units straight and give uniform
+//! formatting ("2.56 GB", "13.4 ms") in reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A byte count (tensor size, memory footprint, traffic volume).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(pub u64);
+
+pub const KIB: u64 = 1024;
+pub const MIB: u64 = 1024 * 1024;
+pub const GIB: u64 = 1024 * 1024 * 1024;
+
+impl Bytes {
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Constructs from mebibytes.
+    #[inline]
+    pub fn mib(v: f64) -> Self {
+        Bytes((v * MIB as f64).round() as u64)
+    }
+
+    /// Constructs from decimal megabytes (10^6 bytes) — the unit the paper's
+    /// tables use for model statistics.
+    #[inline]
+    pub fn mb(v: f64) -> Self {
+        Bytes((v * 1e6).round() as u64)
+    }
+
+    /// Constructs from decimal gigabytes (10^9 bytes).
+    #[inline]
+    pub fn gb(v: f64) -> Self {
+        Bytes((v * 1e9).round() as u64)
+    }
+
+    /// Value in decimal megabytes.
+    #[inline]
+    pub fn to_mb(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in decimal gigabytes.
+    #[inline]
+    pub fn to_gb(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Constructs from gibibytes.
+    #[inline]
+    pub fn gib(v: f64) -> Self {
+        Bytes((v * GIB as f64).round() as u64)
+    }
+
+    /// Byte count as `f64`, for rate arithmetic.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Value in mebibytes.
+    #[inline]
+    pub fn to_mib(self) -> f64 {
+        self.0 as f64 / MIB as f64
+    }
+
+    /// Value in gibibytes.
+    #[inline]
+    pub fn to_gib(self) -> f64 {
+        self.0 as f64 / GIB as f64
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales the byte count by a dimensionless factor, rounding to nearest.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Bytes {
+        debug_assert!(factor >= 0.0, "negative byte scale factor {factor}");
+        Bytes((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bytes {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn div(self, rhs: u64) -> Bytes {
+        Bytes(self.0 / rhs)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0 as f64;
+        if self.0 >= GIB {
+            write!(f, "{:.2} GB", v / GIB as f64)
+        } else if self.0 >= MIB {
+            write!(f, "{:.1} MB", v / MIB as f64)
+        } else if self.0 >= KIB {
+            write!(f, "{:.1} KB", v / KIB as f64)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+/// A duration in microseconds.
+///
+/// `f64` microseconds cover every scale this project needs (sub-microsecond
+/// link latencies up to multi-second training iterations) with plenty of
+/// precision, and keep the simulator's arithmetic branch-free.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct TimeUs(pub f64);
+
+impl TimeUs {
+    pub const ZERO: TimeUs = TimeUs(0.0);
+
+    /// Constructs from milliseconds.
+    #[inline]
+    pub fn ms(v: f64) -> Self {
+        TimeUs(v * 1e3)
+    }
+
+    /// Constructs from seconds.
+    #[inline]
+    pub fn secs(v: f64) -> Self {
+        TimeUs(v * 1e6)
+    }
+
+    /// Value in milliseconds.
+    #[inline]
+    pub fn to_ms(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Value in seconds.
+    #[inline]
+    pub fn to_secs(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: TimeUs) -> TimeUs {
+        TimeUs(self.0.max(other.0))
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: TimeUs) -> TimeUs {
+        TimeUs(self.0.min(other.0))
+    }
+
+    /// True when the duration is finite and non-negative.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Add for TimeUs {
+    type Output = TimeUs;
+    #[inline]
+    fn add(self, rhs: TimeUs) -> TimeUs {
+        TimeUs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeUs {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeUs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeUs {
+    type Output = TimeUs;
+    #[inline]
+    fn sub(self, rhs: TimeUs) -> TimeUs {
+        TimeUs(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for TimeUs {
+    type Output = TimeUs;
+    #[inline]
+    fn mul(self, rhs: f64) -> TimeUs {
+        TimeUs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for TimeUs {
+    type Output = TimeUs;
+    #[inline]
+    fn div(self, rhs: f64) -> TimeUs {
+        TimeUs(self.0 / rhs)
+    }
+}
+
+impl Div for TimeUs {
+    /// Dividing two durations yields a dimensionless ratio.
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: TimeUs) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for TimeUs {
+    fn sum<I: Iterator<Item = TimeUs>>(iter: I) -> TimeUs {
+        iter.fold(TimeUs::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for TimeUs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v >= 1e6 {
+            write!(f, "{:.3} s", v / 1e6)
+        } else if v >= 1e3 {
+            write!(f, "{:.2} ms", v / 1e3)
+        } else {
+            write!(f, "{v:.1} us")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bytes_display_picks_unit() {
+        assert_eq!(Bytes(512).to_string(), "512 B");
+        assert_eq!(Bytes::mib(8.8).to_string(), "8.8 MB");
+        assert_eq!(Bytes::gib(2.56).to_string(), "2.56 GB");
+    }
+
+    #[test]
+    fn bytes_arithmetic() {
+        let a = Bytes::mib(1.0);
+        let b = Bytes::mib(2.0);
+        assert_eq!(a + b, Bytes::mib(3.0));
+        assert_eq!(b - a, a);
+        assert_eq!(a * 4, Bytes::mib(4.0));
+        assert_eq!(b / 2, a);
+        assert_eq!(Bytes::mib(1.0).saturating_sub(Bytes::mib(2.0)), Bytes::ZERO);
+    }
+
+    #[test]
+    fn bytes_scale_rounds() {
+        assert_eq!(Bytes(100).scale(0.5), Bytes(50));
+        assert_eq!(Bytes(3).scale(1.0 / 3.0), Bytes(1));
+    }
+
+    #[test]
+    fn time_display_picks_unit() {
+        assert_eq!(TimeUs(12.34).to_string(), "12.3 us");
+        assert_eq!(TimeUs::ms(4.5).to_string(), "4.50 ms");
+        assert_eq!(TimeUs::secs(1.25).to_string(), "1.250 s");
+    }
+
+    #[test]
+    fn time_ratio_is_dimensionless() {
+        let r: f64 = TimeUs::ms(2.0) / TimeUs::ms(1.0);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_sum_and_minmax() {
+        let total: TimeUs = [TimeUs(1.0), TimeUs(2.0), TimeUs(3.0)].into_iter().sum();
+        assert_eq!(total, TimeUs(6.0));
+        assert_eq!(TimeUs(1.0).max(TimeUs(2.0)), TimeUs(2.0));
+        assert_eq!(TimeUs(1.0).min(TimeUs(2.0)), TimeUs(1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn bytes_add_commutes(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+            prop_assert_eq!(Bytes(a) + Bytes(b), Bytes(b) + Bytes(a));
+        }
+
+        #[test]
+        fn bytes_unit_round_trip(v in 0.0f64..1e6) {
+            let b = Bytes::mib(v);
+            prop_assert!((b.to_mib() - v).abs() < 1e-3);
+        }
+
+        #[test]
+        fn time_unit_round_trip(v in 0.0f64..1e6) {
+            prop_assert!((TimeUs::ms(v).to_ms() - v).abs() < 1e-9 * v.max(1.0));
+            prop_assert!((TimeUs::secs(v).to_secs() - v).abs() < 1e-9 * v.max(1.0));
+        }
+
+        #[test]
+        fn time_scale_consistent(v in 0.0f64..1e9, k in 0.0f64..1e3) {
+            let t = TimeUs(v) * k;
+            prop_assert!((t.0 - v * k).abs() <= 1e-6 * (v * k).max(1.0));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Dependency-free binary checkpointing for engine models.
+//!
+//! A tiny, versioned little-endian format:
+//!
+//! ```text
+//! magic "DAPL" | version u32 | n_layers u32 |
+//!   per layer: in u32 | out u32 | act u8 | weights f32* | bias f32*
+//! ```
+//!
+//! Training through a pipeline is only trustworthy if the weights can
+//! round-trip exactly, so encoding preserves every bit of every `f32`.
+
+use crate::layer::{Activation, Dense};
+use crate::model::MlpModel;
+use crate::tensor::Tensor;
+use dapple_core::{DappleError, Result};
+
+const MAGIC: &[u8; 4] = b"DAPL";
+const VERSION: u32 = 1;
+
+/// Serializes a model to bytes.
+pub fn to_bytes(model: &MlpModel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + model.num_params() * 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(model.layers.len() as u32).to_le_bytes());
+    for layer in &model.layers {
+        out.extend_from_slice(&(layer.in_dim() as u32).to_le_bytes());
+        out.extend_from_slice(&(layer.out_dim() as u32).to_le_bytes());
+        out.push(match layer.act {
+            Activation::Identity => 0,
+            Activation::Relu => 1,
+            Activation::Tanh => 2,
+        });
+        for v in &layer.w.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &layer.b {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Reconstructs a model from bytes produced by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<MlpModel> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let magic = cur.take(4)?;
+    if magic != MAGIC {
+        return Err(DappleError::InvalidConfig("bad checkpoint magic".into()));
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(DappleError::InvalidConfig(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let n_layers = cur.u32()? as usize;
+    if n_layers == 0 || n_layers > 1 << 20 {
+        return Err(DappleError::InvalidConfig(format!(
+            "implausible layer count {n_layers}"
+        )));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let in_dim = cur.u32()? as usize;
+        let out_dim = cur.u32()? as usize;
+        let act = match cur.u8()? {
+            0 => Activation::Identity,
+            1 => Activation::Relu,
+            2 => Activation::Tanh,
+            a => {
+                return Err(DappleError::InvalidConfig(format!(
+                    "unknown activation tag {a}"
+                )))
+            }
+        };
+        let mut w = Vec::with_capacity(in_dim * out_dim);
+        for _ in 0..in_dim * out_dim {
+            w.push(cur.f32()?);
+        }
+        let mut b = Vec::with_capacity(out_dim);
+        for _ in 0..out_dim {
+            b.push(cur.f32()?);
+        }
+        layers.push(Dense {
+            w: Tensor::from_vec(in_dim, out_dim, w),
+            b,
+            act,
+        });
+    }
+    if cur.pos != bytes.len() {
+        return Err(DappleError::InvalidConfig(format!(
+            "trailing {} bytes in checkpoint",
+            bytes.len() - cur.pos
+        )));
+    }
+    Ok(MlpModel { layers })
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DappleError::InvalidConfig("truncated checkpoint".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_exact() {
+        let model = MlpModel::new(&[5, 9, 7, 3], 1234);
+        let bytes = to_bytes(&model);
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(model, restored);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let model = MlpModel::new(&[2, 2], 1);
+        let mut bytes = to_bytes(&model);
+        assert!(from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(from_bytes(&bytes[..3]).is_err());
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_version() {
+        let model = MlpModel::new(&[2, 2], 1);
+        let mut bytes = to_bytes(&model);
+        bytes.push(0);
+        assert!(from_bytes(&bytes).is_err());
+        let mut bytes = to_bytes(&model);
+        bytes[4] = 99;
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_activation() {
+        let model = MlpModel::new(&[2, 2], 1);
+        let mut bytes = to_bytes(&model);
+        // Activation tag of the first layer sits after magic+ver+count+dims.
+        bytes[4 + 4 + 4 + 8] = 7;
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn checkpoint_preserves_training_state() {
+        use crate::data;
+        let mut model = MlpModel::new(&[4, 8, 2], 7);
+        let (x, t) = data::regression_batch(16, 4, 2, 7);
+        for _ in 0..5 {
+            model.reference_step(&x, &t, 2, 0.1);
+        }
+        let restored = from_bytes(&to_bytes(&model)).unwrap();
+        // Continuing training from the restored model is identical.
+        let mut a = model.clone();
+        let mut b = restored;
+        let la = a.reference_step(&x, &t, 2, 0.1).loss;
+        let lb = b.reference_step(&x, &t, 2, 0.1).loss;
+        assert_eq!(la, lb);
+        assert_eq!(a, b);
+    }
+}

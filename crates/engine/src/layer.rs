@@ -1,0 +1,283 @@
+//! Dense layers with exact backward passes.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Element-wise activation following the affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// No activation (linear layer).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, z: f32) -> f32 {
+        match self {
+            Activation::Identity => z,
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+        }
+    }
+
+    /// Derivative expressed through the activation *output* `y`.
+    #[inline]
+    fn grad_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// A dense layer: `y = act(x W + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    /// Weights, `in_dim x out_dim`.
+    pub w: Tensor,
+    /// Bias, `out_dim`.
+    pub b: Vec<f32>,
+    /// Activation.
+    pub act: Activation,
+}
+
+/// Forward cache needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// Layer input.
+    pub x: Tensor,
+    /// Layer output (post-activation).
+    pub y: Tensor,
+}
+
+/// Parameter gradients of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseGrads {
+    /// `dL/dW`.
+    pub dw: Tensor,
+    /// `dL/db`.
+    pub db: Vec<f32>,
+}
+
+impl DenseGrads {
+    /// Zero gradients shaped like `layer`.
+    pub fn zeros_like(layer: &Dense) -> Self {
+        DenseGrads {
+            dw: Tensor::zeros(layer.w.rows, layer.w.cols),
+            db: vec![0.0; layer.b.len()],
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn accumulate(&mut self, other: &DenseGrads) {
+        self.dw.add_assign(&other.dw);
+        for (a, b) in self.db.iter_mut().zip(&other.db) {
+            *a += *b;
+        }
+    }
+
+    /// Flattens into a single vector (for AllReduce).
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mut v = self.dw.data.clone();
+        v.extend_from_slice(&self.db);
+        v
+    }
+
+    /// Restores from a flat vector produced by [`DenseGrads::to_flat`].
+    pub fn from_flat(&mut self, flat: &[f32]) {
+        let nw = self.dw.data.len();
+        self.dw.data.copy_from_slice(&flat[..nw]);
+        self.db.copy_from_slice(&flat[nw..]);
+    }
+}
+
+impl Dense {
+    /// Xavier-style deterministic initialization.
+    pub fn new(in_dim: usize, out_dim: usize, act: Activation, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (2.0 / (in_dim + out_dim) as f32).sqrt();
+        let data = (0..in_dim * out_dim)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Dense {
+            w: Tensor::from_vec(in_dim, out_dim, data),
+            b: vec![0.0; out_dim],
+            act,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols
+    }
+
+    /// Forward pass, returning the output and the backward cache.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, DenseCache) {
+        let mut y = x.matmul(&self.w);
+        y.add_bias(&self.b);
+        for v in &mut y.data {
+            *v = self.act.apply(*v);
+        }
+        (y.clone(), DenseCache { x: x.clone(), y })
+    }
+
+    /// Backward pass: input gradient and parameter gradients.
+    pub fn backward(&self, cache: &DenseCache, dy: &Tensor) -> (Tensor, DenseGrads) {
+        assert_eq!(dy.rows, cache.y.rows, "grad batch mismatch");
+        assert_eq!(dy.cols, cache.y.cols, "grad width mismatch");
+        // dz = dy * act'(y)
+        let mut dz = dy.clone();
+        for (d, y) in dz.data.iter_mut().zip(&cache.y.data) {
+            *d *= self.act.grad_from_output(*y);
+        }
+        let dw = cache.x.transpose().matmul(&dz);
+        let db = dz.col_sums();
+        let dx = dz.matmul(&self.w.transpose());
+        (dx, DenseGrads { dw, db })
+    }
+
+    /// SGD update: `p -= lr * g`.
+    pub fn apply_sgd(&mut self, grads: &DenseGrads, lr: f32) {
+        for (w, g) in self.w.data.iter_mut().zip(&grads.dw.data) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.b.iter_mut().zip(&grads.db) {
+            *b -= lr * g;
+        }
+    }
+
+    /// Parameter count (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.w.data.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of the dense backward pass.
+    #[test]
+    fn backward_matches_finite_differences() {
+        for act in [Activation::Identity, Activation::Tanh] {
+            let layer = Dense::new(3, 2, act, 42);
+            let x = Tensor::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.5, 0.4, -0.1]);
+            let loss = |l: &Dense, x: &Tensor| -> f32 {
+                let (y, _) = l.forward(x);
+                y.data.iter().map(|v| v * v).sum::<f32>() * 0.5
+            };
+            let (y, cache) = layer.forward(&x);
+            let dy = y.clone(); // dL/dy for L = 0.5 sum y^2
+            let (dx, grads) = layer.backward(&cache, &dy);
+
+            let eps = 1e-3f32;
+            // Check dW numerically at a few coordinates.
+            for &(r, c) in &[(0usize, 0usize), (2, 1), (1, 0)] {
+                let mut lp = layer.clone();
+                lp.w.data[r * 2 + c] += eps;
+                let mut lm = layer.clone();
+                lm.w.data[r * 2 + c] -= eps;
+                let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+                let ana = grads.dw.at(r, c);
+                assert!(
+                    (num - ana).abs() < 2e-2 * ana.abs().max(1.0),
+                    "{act:?} dW[{r},{c}]: {num} vs {ana}"
+                );
+            }
+            // Check dx numerically.
+            for i in 0..3 {
+                let mut xp = x.clone();
+                xp.data[i] += eps;
+                let mut xm = x.clone();
+                xm.data[i] -= eps;
+                let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+                let ana = dx.data[i];
+                assert!(
+                    (num - ana).abs() < 2e-2 * ana.abs().max(1.0),
+                    "{act:?} dx[{i}]: {num} vs {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_masks_gradients() {
+        let mut layer = Dense::new(1, 2, Activation::Relu, 7);
+        layer.w = Tensor::from_vec(1, 2, vec![1.0, -1.0]);
+        layer.b = vec![0.0, 0.0];
+        let x = Tensor::from_vec(1, 1, vec![2.0]); // y = [2, 0(-2 clipped)]
+        let (y, cache) = layer.forward(&x);
+        assert_eq!(y.data, vec![2.0, 0.0]);
+        let dy = Tensor::from_vec(1, 2, vec![1.0, 1.0]);
+        let (_, grads) = layer.backward(&cache, &dy);
+        // The clipped unit contributes no gradient.
+        assert_eq!(grads.dw.data, vec![2.0, 0.0]);
+        assert_eq!(grads.db, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn grads_flat_round_trip() {
+        let layer = Dense::new(3, 4, Activation::Identity, 1);
+        let x = Tensor::from_vec(2, 3, vec![1.0; 6]);
+        let (y, cache) = layer.forward(&x);
+        let (_, grads) = layer.backward(&cache, &y);
+        let flat = grads.to_flat();
+        assert_eq!(flat.len(), layer.num_params());
+        let mut restored = DenseGrads::zeros_like(&layer);
+        restored.from_flat(&flat);
+        assert_eq!(restored, grads);
+    }
+
+    #[test]
+    fn accumulate_sums_gradients() {
+        let layer = Dense::new(2, 2, Activation::Identity, 3);
+        let x = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        let (y, cache) = layer.forward(&x);
+        let (_, g1) = layer.backward(&cache, &y);
+        let mut acc = DenseGrads::zeros_like(&layer);
+        acc.accumulate(&g1);
+        acc.accumulate(&g1);
+        for (a, b) in acc.dw.data.iter().zip(&g1.dw.data) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut layer = Dense::new(1, 1, Activation::Identity, 9);
+        let w0 = layer.w.data[0];
+        let grads = DenseGrads {
+            dw: Tensor::from_vec(1, 1, vec![2.0]),
+            db: vec![1.0],
+        };
+        layer.apply_sgd(&grads, 0.1);
+        assert!((layer.w.data[0] - (w0 - 0.2)).abs() < 1e-7);
+        assert!((layer.b[0] + 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Dense::new(4, 3, Activation::Tanh, 123);
+        let b = Dense::new(4, 3, Activation::Tanh, 123);
+        assert_eq!(a, b);
+        let c = Dense::new(4, 3, Activation::Tanh, 124);
+        assert_ne!(a, c);
+    }
+}

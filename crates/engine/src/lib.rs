@@ -1,0 +1,37 @@
+//! # dapple-engine
+//!
+//! A real multi-threaded CPU training engine that executes DAPPLE and
+//! GPipe pipeline schedules on actual tensors — the executable counterpart
+//! of the DAPPLE runtime (§V).
+//!
+//! Where [`dapple-sim`](dapple_sim) *models* schedules analytically, this
+//! crate *runs* them: stage workers are OS threads connected by crossbeam
+//! channels, micro-batch activations and gradients really flow across
+//! stage boundaries (with split/concat for replicated stages, Fig. 9),
+//! per-stage gradients really accumulate across micro-batches (Fig. 10),
+//! and replicas really synchronize with the threaded ring AllReduce from
+//! [`dapple-collectives`](dapple_collectives).
+//!
+//! The paper's central convergence claim — "all the pipeline latency
+//! optimizations give equivalent gradients when keeping global batch size
+//! fixed" — is verified here end-to-end: the pipelined gradients equal the
+//! sequential full-batch gradients within floating-point reassociation
+//! tolerance, for every schedule, partition, replication factor and
+//! re-computation setting (see `pipeline::tests` and the workspace
+//! integration tests).
+
+pub mod checkpoint;
+pub mod data;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod pipeline;
+pub mod tensor;
+
+pub use layer::{Activation, Dense};
+pub use loss::LossKind;
+pub use model::{MlpModel, StepStats};
+pub use optim::Optimizer;
+pub use pipeline::{EngineConfig, PipelineTrainer};
+pub use tensor::Tensor;

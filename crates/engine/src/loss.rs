@@ -1,0 +1,169 @@
+//! Loss functions: mean-squared error and softmax cross-entropy.
+//!
+//! Both normalize by the *global* batch size so micro-batch gradients sum
+//! exactly to the full-batch gradient — the invariant synchronous
+//! pipelined training rests on.
+
+use crate::tensor::Tensor;
+
+/// Which loss the trainer optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LossKind {
+    /// Mean-squared error (regression).
+    #[default]
+    Mse,
+    /// Softmax + cross-entropy over logits (classification); targets are
+    /// one-hot rows (or any distribution summing to 1).
+    SoftmaxXent,
+}
+
+/// Loss value and gradient w.r.t. the predictions/logits, normalized by
+/// `total_samples`.
+pub fn loss_grad(
+    kind: LossKind,
+    pred: &Tensor,
+    target: &Tensor,
+    total_samples: usize,
+) -> (f32, Tensor) {
+    assert_eq!(pred.rows, target.rows, "loss batch mismatch");
+    assert_eq!(pred.cols, target.cols, "loss width mismatch");
+    match kind {
+        LossKind::Mse => mse(pred, target, total_samples),
+        LossKind::SoftmaxXent => softmax_xent(pred, target, total_samples),
+    }
+}
+
+fn mse(pred: &Tensor, target: &Tensor, total_samples: usize) -> (f32, Tensor) {
+    let inv = 1.0 / (total_samples as f32 * pred.cols as f32);
+    let mut grad = Tensor::zeros(pred.rows, pred.cols);
+    let mut loss = 0.0f32;
+    for i in 0..pred.data.len() {
+        let d = pred.data[i] - target.data[i];
+        loss += d * d * inv;
+        grad.data[i] = 2.0 * d * inv;
+    }
+    (loss, grad)
+}
+
+fn softmax_xent(logits: &Tensor, target: &Tensor, total_samples: usize) -> (f32, Tensor) {
+    let inv = 1.0 / total_samples as f32;
+    let mut grad = Tensor::zeros(logits.rows, logits.cols);
+    let mut loss = 0.0f32;
+    for r in 0..logits.rows {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let log_z = z.ln() + max;
+        for c in 0..logits.cols {
+            let p = exps[c] / z;
+            let y = target.at(r, c);
+            if y != 0.0 {
+                loss += y * (log_z - row[c]) * inv;
+            }
+            grad.data[r * logits.cols + c] = (p - y) * inv;
+        }
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot(rows: usize, cols: usize, hot: &[usize]) -> Tensor {
+        let mut t = Tensor::zeros(rows, cols);
+        for (r, &h) in hot.iter().enumerate() {
+            t.data[r * cols + h] = 1.0;
+        }
+        t
+    }
+
+    #[test]
+    fn softmax_grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let y = one_hot(2, 3, &[0, 2]);
+        let (_, grad) = loss_grad(LossKind::SoftmaxXent, &logits, &y, 2);
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn softmax_loss_is_zero_on_confident_correct() {
+        let logits = Tensor::from_vec(1, 3, vec![100.0, 0.0, 0.0]);
+        let y = one_hot(1, 3, &[0]);
+        let (loss, grad) = loss_grad(LossKind::SoftmaxXent, &logits, &y, 1);
+        assert!(loss < 1e-6, "{loss}");
+        assert!(grad.data.iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn softmax_grad_matches_finite_differences() {
+        let logits = Tensor::from_vec(1, 4, vec![0.3, -0.8, 1.2, 0.1]);
+        let y = one_hot(1, 4, &[2]);
+        let (_, grad) = loss_grad(LossKind::SoftmaxXent, &logits, &y, 1);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut p = logits.clone();
+            p.data[i] += eps;
+            let mut m = logits.clone();
+            m.data[i] -= eps;
+            let (lp, _) = loss_grad(LossKind::SoftmaxXent, &p, &y, 1);
+            let (lm, _) = loss_grad(LossKind::SoftmaxXent, &m, &y, 1);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.data[i]).abs() < 1e-3,
+                "dim {i}: {num} vs {}",
+                grad.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(1, 3, vec![1001.0, 1002.0, 1003.0]);
+        let y = one_hot(1, 3, &[1]);
+        let (la, ga) = loss_grad(LossKind::SoftmaxXent, &a, &y, 1);
+        let (lb, gb) = loss_grad(LossKind::SoftmaxXent, &b, &y, 1);
+        assert!((la - lb).abs() < 1e-4, "{la} vs {lb}");
+        for (x, z) in ga.data.iter().zip(&gb.data) {
+            assert!((x - z).abs() < 1e-5);
+        }
+        assert!(la.is_finite() && lb.is_finite());
+    }
+
+    #[test]
+    fn micro_batch_grads_sum_to_full_batch() {
+        let logits = Tensor::from_vec(4, 2, vec![0.5, -0.5, 1.0, 0.0, -1.0, 2.0, 0.2, 0.1]);
+        let y = one_hot(4, 2, &[0, 1, 1, 0]);
+        let (full_l, full_g) = loss_grad(LossKind::SoftmaxXent, &logits, &y, 4);
+        let mut sum_l = 0.0f32;
+        let mut sum_g = Tensor::zeros(4, 2);
+        for u in 0..2 {
+            let lp = logits.slice_rows(u * 2..(u + 1) * 2);
+            let yp = y.slice_rows(u * 2..(u + 1) * 2);
+            let (l, g) = loss_grad(LossKind::SoftmaxXent, &lp, &yp, 4);
+            sum_l += l;
+            for (i, v) in g.data.iter().enumerate() {
+                sum_g.data[u * 4 + i] += v;
+            }
+        }
+        assert!((full_l - sum_l).abs() < 1e-6);
+        for (a, b) in full_g.data.iter().zip(&sum_g.data) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn mse_kind_matches_model_helper() {
+        let pred = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let target = Tensor::from_vec(2, 2, vec![0.0, 2.0, 3.0, 5.0]);
+        let (l1, g1) = loss_grad(LossKind::Mse, &pred, &target, 2);
+        let (l2, g2) = crate::model::MlpModel::mse_loss_grad(&pred, &target, 2);
+        assert_eq!(l1, l2);
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,760 @@
+//! The multi-threaded pipeline trainer.
+//!
+//! One OS thread per stage replica, connected by crossbeam channels.
+//! Each worker executes exactly the deterministic step order that the
+//! simulator models ([`dapple_sim::schedule::stage_order`]): warmup
+//! forwards, strict 1F1B interleaving (or GPipe's all-forwards-first),
+//! then the backward drain. Activations and activation-gradients flow as
+//! real tensors; replicated stages split/concat micro-batches by rows
+//! (Fig. 8a / Fig. 9); per-stage gradients accumulate across micro-batches
+//! and are synchronized with the ring AllReduce before a single SGD apply
+//! (Fig. 10) — synchronous semantics, bit-compatible with full-batch
+//! training up to float reassociation.
+
+use crate::layer::{Dense, DenseCache, DenseGrads};
+use crate::loss::{loss_grad, LossKind};
+use crate::model::{MlpModel, StepStats};
+use crate::tensor::Tensor;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dapple_core::{DappleError, Result};
+use dapple_sim::schedule::{stage_order, Step};
+use dapple_sim::Schedule;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Configuration of a pipeline training run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Contiguous layer ranges, one per stage, covering the whole model.
+    pub stage_bounds: Vec<Range<usize>>,
+    /// Replicas per stage (data parallelism within a stage).
+    pub replication: Vec<usize>,
+    /// Pipeline schedule (GPipe or DAPPLE with PA/PB warmup).
+    pub schedule: Schedule,
+    /// Micro-batches per global batch.
+    pub micro_batches: usize,
+    /// Re-compute activations during backward instead of storing them.
+    pub recompute: bool,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Memory bound `D` on in-flight micro-batches per stage.
+    pub max_in_flight: usize,
+    /// Loss optimized by the last stage.
+    pub loss: LossKind,
+}
+
+impl EngineConfig {
+    /// A straight pipeline (no replication) with DAPPLE-PA scheduling.
+    pub fn straight(stage_bounds: Vec<Range<usize>>, micro_batches: usize, lr: f32) -> Self {
+        let n = stage_bounds.len();
+        EngineConfig {
+            stage_bounds,
+            replication: vec![1; n],
+            schedule: Schedule::Dapple(dapple_sim::KPolicy::PA),
+            micro_batches,
+            recompute: false,
+            lr,
+            max_in_flight: usize::MAX,
+            loss: LossKind::Mse,
+        }
+    }
+}
+
+/// A message crossing a stage boundary: rows `row0..row0 + data.rows` of
+/// micro-batch `micro` (row indices are micro-batch local).
+struct Msg {
+    micro: usize,
+    row0: usize,
+    data: Tensor,
+}
+
+/// Per-worker output.
+struct WorkerOut {
+    stage: usize,
+    replica: usize,
+    grads: Vec<DenseGrads>,
+    loss: f32,
+}
+
+/// The pipeline trainer: a model plus its parallelization config.
+pub struct PipelineTrainer {
+    /// The master copy of the model (updated after every step).
+    pub model: MlpModel,
+    cfg: EngineConfig,
+}
+
+impl PipelineTrainer {
+    /// Validates the configuration against the model.
+    pub fn new(model: MlpModel, cfg: EngineConfig) -> Result<Self> {
+        if cfg.stage_bounds.is_empty() || cfg.stage_bounds.len() != cfg.replication.len() {
+            return Err(DappleError::InvalidConfig(
+                "stage bounds and replication must align and be non-empty".into(),
+            ));
+        }
+        let mut next = 0usize;
+        for (i, r) in cfg.stage_bounds.iter().enumerate() {
+            if r.start != next || r.is_empty() {
+                return Err(DappleError::InvalidConfig(format!(
+                    "stage {i} range {r:?} not contiguous from {next}"
+                )));
+            }
+            if cfg.replication[i] == 0 {
+                return Err(DappleError::InvalidConfig(format!(
+                    "stage {i} has 0 replicas"
+                )));
+            }
+            next = r.end;
+        }
+        if next != model.num_layers() {
+            return Err(DappleError::InvalidConfig(format!(
+                "stages cover {next} layers, model has {}",
+                model.num_layers()
+            )));
+        }
+        if cfg.micro_batches == 0 {
+            return Err(DappleError::InvalidConfig(
+                "need at least one micro-batch".into(),
+            ));
+        }
+        Ok(PipelineTrainer { model, cfg })
+    }
+
+    /// Config accessor.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Computes full-batch gradients via the pipeline, without updating
+    /// weights. Returns `(loss, per-layer grads)` — directly comparable
+    /// with [`MlpModel::reference_grads`].
+    pub fn step_grads(&self, x: &Tensor, target: &Tensor) -> Result<(f32, Vec<DenseGrads>)> {
+        let n = x.rows;
+        let m = self.cfg.micro_batches;
+        if !n.is_multiple_of(m) {
+            return Err(DappleError::InvalidConfig(format!(
+                "batch {n} not divisible by {m} micro-batches"
+            )));
+        }
+        let mb = n / m;
+        for (i, &r) in self.cfg.replication.iter().enumerate() {
+            if !mb.is_multiple_of(r) {
+                return Err(DappleError::InvalidConfig(format!(
+                    "micro-batch {mb} not divisible by stage {i} replication {r}"
+                )));
+            }
+        }
+        let s = self.cfg.stage_bounds.len();
+
+        // Row ranges (micro-batch local) per stage replica.
+        let rows_of = |stage: usize, rep: usize| -> Range<usize> {
+            let r = self.cfg.replication[stage];
+            let w = mb / r;
+            rep * w..(rep + 1) * w
+        };
+
+        // Wire the boundary channels.
+        // fwd_rx[i][p]: what stage i replica p receives from stage i-1.
+        let mut fwd_tx: Vec<Vec<Sender<Msg>>> = Vec::new(); // index: boundary -> next replica
+        let mut fwd_rx: Vec<Vec<Option<Receiver<Msg>>>> = (0..s)
+            .map(|i| (0..self.cfg.replication[i]).map(|_| None).collect())
+            .collect();
+        let mut bwd_tx: Vec<Vec<Sender<Msg>>> = Vec::new(); // index: boundary -> prev replica
+        let mut bwd_rx: Vec<Vec<Option<Receiver<Msg>>>> = (0..s)
+            .map(|i| (0..self.cfg.replication[i]).map(|_| None).collect())
+            .collect();
+        for b in 0..s.saturating_sub(1) {
+            let mut txs = Vec::new();
+            for slot in fwd_rx[b + 1].iter_mut() {
+                let (tx, rx) = unbounded();
+                txs.push(tx);
+                *slot = Some(rx);
+            }
+            fwd_tx.push(txs);
+            let mut txs = Vec::new();
+            for slot in bwd_rx[b].iter_mut() {
+                let (tx, rx) = unbounded();
+                txs.push(tx);
+                *slot = Some(rx);
+            }
+            bwd_tx.push(txs);
+        }
+
+        let mut outs: Vec<WorkerOut> = Vec::with_capacity(s * 2);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in 0..s {
+                for p in 0..self.cfg.replication[i] {
+                    let layers = &self.model.layers[self.cfg.stage_bounds[i].clone()];
+                    let my_rows = rows_of(i, p);
+                    let script = stage_order(self.cfg.schedule, i, s, m, self.cfg.max_in_flight);
+                    let rx_f = fwd_rx[i][p].take();
+                    let rx_b = bwd_rx[i][p].take();
+                    let tx_f: Option<Vec<Sender<Msg>>> = (i + 1 < s).then(|| fwd_tx[i].clone());
+                    let tx_b: Option<Vec<Sender<Msg>>> = (i > 0).then(|| bwd_tx[i - 1].clone());
+                    let next_rows: Option<Vec<Range<usize>>> = (i + 1 < s).then(|| {
+                        (0..self.cfg.replication[i + 1])
+                            .map(|q| rows_of(i + 1, q))
+                            .collect()
+                    });
+                    let prev_rows: Option<Vec<Range<usize>>> = (i > 0).then(|| {
+                        (0..self.cfg.replication[i - 1])
+                            .map(|q| rows_of(i - 1, q))
+                            .collect()
+                    });
+                    let worker = Worker {
+                        stage: i,
+                        replica: p,
+                        loss: self.cfg.loss,
+                        layers,
+                        script,
+                        my_rows,
+                        mb,
+                        total_samples: n,
+                        recompute: self.cfg.recompute,
+                        is_first: i == 0,
+                        is_last: i + 1 == s,
+                        x,
+                        target,
+                        rx_f,
+                        rx_b,
+                        tx_f,
+                        tx_b,
+                        next_rows,
+                        prev_rows,
+                    };
+                    handles.push(scope.spawn(move || worker.run()));
+                }
+            }
+            // Drop the original sender handles: workers hold clones, and
+            // keeping these alive would turn a worker panic into a
+            // deadlock (peers blocked on recv with a sender still open)
+            // instead of a clean cascading teardown.
+            drop(fwd_tx);
+            drop(bwd_tx);
+            for h in handles {
+                outs.push(h.join().expect("pipeline worker must not panic"));
+            }
+        });
+
+        // Gradient sync: ring all-reduce across each stage's replicas
+        // (Fig. 10), then assemble per-layer global gradients.
+        let mut loss = 0.0f32;
+        let mut global: Vec<Option<DenseGrads>> =
+            (0..self.model.num_layers()).map(|_| None).collect();
+        for i in 0..s {
+            let mut replicas: Vec<&mut WorkerOut> =
+                outs.iter_mut().filter(|o| o.stage == i).collect();
+            replicas.sort_by_key(|o| o.replica);
+            loss += replicas.iter().map(|o| o.loss).sum::<f32>();
+            let mut flats: Vec<Vec<f32>> = replicas
+                .iter()
+                .map(|o| {
+                    o.grads
+                        .iter()
+                        .flat_map(|g| g.to_flat())
+                        .collect::<Vec<f32>>()
+                })
+                .collect();
+            dapple_collectives::allreduce_sum(&mut flats);
+            // Unflatten replica 0's reduced gradients into layer slots.
+            let mut offset = 0usize;
+            for (k, layer_idx) in self.cfg.stage_bounds[i].clone().enumerate() {
+                let mut g = DenseGrads::zeros_like(&self.model.layers[layer_idx]);
+                let len = g.to_flat().len();
+                g.from_flat(&flats[0][offset..offset + len]);
+                offset += len;
+                let _ = k;
+                global[layer_idx] = Some(g);
+            }
+        }
+        let grads = global
+            .into_iter()
+            .map(|g| g.expect("every layer covered"))
+            .collect();
+        Ok((loss, grads))
+    }
+
+    /// One synchronous training step: pipeline gradients + SGD apply.
+    pub fn train_step(&mut self, x: &Tensor, target: &Tensor) -> Result<StepStats> {
+        let (loss, grads) = self.step_grads(x, target)?;
+        self.model.apply(&grads, self.cfg.lr);
+        Ok(StepStats {
+            loss,
+            samples: x.rows,
+        })
+    }
+
+    /// One synchronous training step under an explicit optimizer
+    /// (momentum, Adam, ...) instead of the config's plain-SGD rate.
+    pub fn train_step_with(
+        &mut self,
+        x: &Tensor,
+        target: &Tensor,
+        optimizer: &mut crate::optim::Optimizer,
+    ) -> Result<StepStats> {
+        let (loss, grads) = self.step_grads(x, target)?;
+        optimizer.step(&mut self.model, &grads);
+        Ok(StepStats {
+            loss,
+            samples: x.rows,
+        })
+    }
+}
+
+/// One stage-replica worker.
+struct Worker<'a> {
+    stage: usize,
+    replica: usize,
+    loss: LossKind,
+    layers: &'a [Dense],
+    script: Vec<Step>,
+    /// Micro-batch-local rows this replica owns.
+    my_rows: Range<usize>,
+    mb: usize,
+    total_samples: usize,
+    recompute: bool,
+    is_first: bool,
+    is_last: bool,
+    x: &'a Tensor,
+    target: &'a Tensor,
+    rx_f: Option<Receiver<Msg>>,
+    rx_b: Option<Receiver<Msg>>,
+    tx_f: Option<Vec<Sender<Msg>>>,
+    tx_b: Option<Vec<Sender<Msg>>>,
+    next_rows: Option<Vec<Range<usize>>>,
+    prev_rows: Option<Vec<Range<usize>>>,
+}
+
+/// Stored state per in-flight micro-batch.
+enum Flight {
+    /// Full caches (normal mode).
+    Cached(Vec<DenseCache>),
+    /// Stage input only (re-computation mode).
+    InputOnly(Tensor),
+}
+
+impl Worker<'_> {
+    fn run(self) -> WorkerOut {
+        let mut grads: Vec<DenseGrads> = self.layers.iter().map(DenseGrads::zeros_like).collect();
+        let mut loss = 0.0f32;
+        let mut flights: HashMap<usize, Flight> = HashMap::new();
+        let mut buf_f: HashMap<usize, Vec<Msg>> = HashMap::new();
+        let mut buf_b: HashMap<usize, Vec<Msg>> = HashMap::new();
+
+        for step in &self.script {
+            match *step {
+                Step::Fw(u) => {
+                    let input = if self.is_first {
+                        let lo = u * self.mb + self.my_rows.start;
+                        let hi = u * self.mb + self.my_rows.end;
+                        self.x.slice_rows(lo..hi)
+                    } else {
+                        recv_rows(
+                            self.rx_f.as_ref().expect("fwd channel"),
+                            &mut buf_f,
+                            u,
+                            self.my_rows.clone(),
+                        )
+                    };
+                    let (out, caches) = forward_stage(self.layers, &input);
+                    flights.insert(
+                        u,
+                        if self.recompute {
+                            Flight::InputOnly(input)
+                        } else {
+                            Flight::Cached(caches)
+                        },
+                    );
+                    if let (Some(txs), Some(next_rows)) = (&self.tx_f, &self.next_rows) {
+                        send_overlaps(txs, next_rows, &self.my_rows, u, &out);
+                    }
+                }
+                Step::Bw(u) => {
+                    let caches = match flights.remove(&u).expect("forward before backward") {
+                        Flight::Cached(c) => c,
+                        Flight::InputOnly(input) => forward_stage(self.layers, &input).1,
+                    };
+                    let dy = if self.is_last {
+                        let pred = &caches.last().expect("non-empty stage").y;
+                        let lo = u * self.mb + self.my_rows.start;
+                        let hi = u * self.mb + self.my_rows.end;
+                        let t = self.target.slice_rows(lo..hi);
+                        let (l, dy) = loss_grad(self.loss, pred, &t, self.total_samples);
+                        loss += l;
+                        dy
+                    } else {
+                        recv_rows(
+                            self.rx_b.as_ref().expect("bwd channel"),
+                            &mut buf_b,
+                            u,
+                            self.my_rows.clone(),
+                        )
+                    };
+                    let dx = backward_stage(self.layers, &caches, dy, &mut grads);
+                    if let (Some(txs), Some(prev_rows)) = (&self.tx_b, &self.prev_rows) {
+                        send_overlaps(txs, prev_rows, &self.my_rows, u, &dx);
+                    }
+                }
+            }
+        }
+        WorkerOut {
+            stage: self.stage,
+            replica: self.replica,
+            grads,
+            loss,
+        }
+    }
+}
+
+/// Forward through a stage's layers, collecting caches.
+fn forward_stage(layers: &[Dense], input: &Tensor) -> (Tensor, Vec<DenseCache>) {
+    let mut caches = Vec::with_capacity(layers.len());
+    let mut cur = input.clone();
+    for layer in layers {
+        let (y, cache) = layer.forward(&cur);
+        caches.push(cache);
+        cur = y;
+    }
+    (cur, caches)
+}
+
+/// Backward through a stage's layers, accumulating parameter grads.
+fn backward_stage(
+    layers: &[Dense],
+    caches: &[DenseCache],
+    dy: Tensor,
+    grads: &mut [DenseGrads],
+) -> Tensor {
+    let mut cur = dy;
+    for i in (0..layers.len()).rev() {
+        let (dx, g) = layers[i].backward(&caches[i], &cur);
+        grads[i].accumulate(&g);
+        cur = dx;
+    }
+    cur
+}
+
+/// Sends the row overlap between `my_rows` and each peer's rows.
+fn send_overlaps(
+    txs: &[Sender<Msg>],
+    peer_rows: &[Range<usize>],
+    my_rows: &Range<usize>,
+    micro: usize,
+    data: &Tensor,
+) {
+    for (tx, peer) in txs.iter().zip(peer_rows) {
+        let lo = my_rows.start.max(peer.start);
+        let hi = my_rows.end.min(peer.end);
+        if lo >= hi {
+            continue;
+        }
+        // Convert to local row indices within `data`.
+        let local = (lo - my_rows.start)..(hi - my_rows.start);
+        tx.send(Msg {
+            micro,
+            row0: lo,
+            data: data.slice_rows(local),
+        })
+        .expect("receiver alive");
+    }
+}
+
+/// Receives parts until rows `want` of micro-batch `micro` are covered,
+/// then assembles them in row order.
+fn recv_rows(
+    rx: &Receiver<Msg>,
+    buf: &mut HashMap<usize, Vec<Msg>>,
+    micro: usize,
+    want: Range<usize>,
+) -> Tensor {
+    loop {
+        let have: usize = buf
+            .get(&micro)
+            .map(|parts| parts.iter().map(|p| p.data.rows).sum())
+            .unwrap_or(0);
+        if have == want.len() {
+            let mut parts = buf.remove(&micro).expect("parts present");
+            parts.sort_by_key(|p| p.row0);
+            let tensors: Vec<Tensor> = parts.into_iter().map(|p| p.data).collect();
+            return Tensor::concat_rows(&tensors);
+        }
+        let msg = rx.recv().expect("sender alive");
+        buf.entry(msg.micro).or_default().push(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use dapple_sim::{KPolicy, Schedule};
+
+    fn grads_close(a: &[DenseGrads], b: &[DenseGrads], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            for (p, q) in x.dw.data.iter().zip(&y.dw.data) {
+                assert!(
+                    (p - q).abs() <= tol * p.abs().max(1e-3),
+                    "layer {i} dw: {p} vs {q}"
+                );
+            }
+            for (p, q) in x.db.iter().zip(&y.db) {
+                assert!(
+                    (p - q).abs() <= tol * p.abs().max(1e-3),
+                    "layer {i} db: {p} vs {q}"
+                );
+            }
+        }
+    }
+
+    fn model6() -> MlpModel {
+        MlpModel::new(&[5, 12, 10, 8, 8, 4, 3], 77)
+    }
+
+    /// Pipelined gradients equal sequential full-batch gradients — the
+    /// paper's synchronous-equivalence claim — for every schedule and
+    /// re-computation setting on a straight 3-stage pipeline.
+    #[test]
+    fn straight_pipeline_matches_reference() {
+        let model = model6();
+        let (x, t) = data::regression_batch(24, 5, 3, 9);
+        let (ref_loss, ref_grads) = model.reference_grads(&x, &t, 4);
+        for schedule in [
+            Schedule::GPipe,
+            Schedule::Dapple(KPolicy::PA),
+            Schedule::Dapple(KPolicy::PB),
+        ] {
+            for recompute in [false, true] {
+                let cfg = EngineConfig {
+                    stage_bounds: vec![0..2, 2..4, 4..6],
+                    replication: vec![1, 1, 1],
+                    schedule,
+                    micro_batches: 4,
+                    recompute,
+                    lr: 0.1,
+                    max_in_flight: usize::MAX,
+                    loss: LossKind::Mse,
+                };
+                let trainer = PipelineTrainer::new(model.clone(), cfg).unwrap();
+                let (loss, grads) = trainer.step_grads(&x, &t).unwrap();
+                assert!(
+                    (loss - ref_loss).abs() < 1e-5 * ref_loss.max(1e-3),
+                    "{schedule} rc={recompute}: loss {loss} vs {ref_loss}"
+                );
+                grads_close(&grads, &ref_grads, 1e-4);
+            }
+        }
+    }
+
+    /// Replicated stages (hybrid plan) still produce reference gradients:
+    /// the micro-batch is split by rows, gradients ring-allreduced.
+    #[test]
+    fn replicated_stages_match_reference() {
+        let model = model6();
+        let (x, t) = data::regression_batch(24, 5, 3, 10);
+        let (_, ref_grads) = model.reference_grads(&x, &t, 3);
+        let cfg = EngineConfig {
+            stage_bounds: vec![0..3, 3..6],
+            replication: vec![4, 2],
+            schedule: Schedule::Dapple(KPolicy::PA),
+            micro_batches: 3,
+            recompute: false,
+            lr: 0.1,
+            max_in_flight: usize::MAX,
+            loss: LossKind::Mse,
+        };
+        let trainer = PipelineTrainer::new(model, cfg).unwrap();
+        let (_, grads) = trainer.step_grads(&x, &t).unwrap();
+        grads_close(&grads, &ref_grads, 2e-4);
+    }
+
+    /// Uneven replication across adjacent stages exercises many-to-many
+    /// split/concat (Fig. 9d).
+    #[test]
+    fn many_to_many_split_concat() {
+        let model = model6();
+        let (x, t) = data::regression_batch(36, 5, 3, 11);
+        let (_, ref_grads) = model.reference_grads(&x, &t, 3);
+        for (r1, r2) in [(3usize, 2usize), (2, 3), (1, 4), (6, 1)] {
+            let cfg = EngineConfig {
+                stage_bounds: vec![0..3, 3..6],
+                replication: vec![r1, r2],
+                schedule: Schedule::Dapple(KPolicy::PB),
+                micro_batches: 3,
+                recompute: true,
+                lr: 0.1,
+                max_in_flight: usize::MAX,
+                loss: LossKind::Mse,
+            };
+            let trainer = PipelineTrainer::new(model.clone(), cfg).unwrap();
+            let (_, grads) = trainer.step_grads(&x, &t).unwrap();
+            grads_close(&grads, &ref_grads, 2e-4);
+        }
+    }
+
+    /// Pipelined training converges identically to sequential training.
+    #[test]
+    fn training_trajectory_matches_sequential() {
+        let (x, t) = data::regression_batch(32, 5, 3, 12);
+        let mut seq = model6();
+        let cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.2);
+        let mut pipe = PipelineTrainer::new(model6(), cfg).unwrap();
+        let mut first = None;
+        let mut last = (0.0, 0.0);
+        for _ in 0..100 {
+            let sl = seq.reference_step(&x, &t, 4, 0.2).loss;
+            let pl = pipe.train_step(&x, &t).unwrap().loss;
+            first.get_or_insert((sl, pl));
+            last = (sl, pl);
+            assert!(
+                (sl - pl).abs() < 1e-3 * sl.max(1e-3),
+                "diverged: seq {sl} vs pipe {pl}"
+            );
+        }
+        let (f, _) = first.unwrap();
+        assert!(
+            last.0 < f * 0.6,
+            "training must reduce loss: {f} -> {}",
+            last.0
+        );
+    }
+
+    /// A bounded in-flight budget (small D) still yields correct results.
+    #[test]
+    fn memory_bounded_schedule_is_correct() {
+        let model = model6();
+        let (x, t) = data::regression_batch(24, 5, 3, 13);
+        let (_, ref_grads) = model.reference_grads(&x, &t, 8);
+        let cfg = EngineConfig {
+            stage_bounds: vec![0..3, 3..6],
+            replication: vec![1, 1],
+            schedule: Schedule::Dapple(KPolicy::PB),
+            micro_batches: 8,
+            recompute: false,
+            lr: 0.1,
+            max_in_flight: 1,
+            loss: LossKind::Mse,
+        };
+        let trainer = PipelineTrainer::new(model, cfg).unwrap();
+        let (_, grads) = trainer.step_grads(&x, &t).unwrap();
+        grads_close(&grads, &ref_grads, 1e-4);
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = model6();
+        // Gap in stage bounds.
+        let bad = EngineConfig::straight(vec![0..2, 3..6], 2, 0.1);
+        assert!(PipelineTrainer::new(model.clone(), bad).is_err());
+        // Incomplete cover.
+        let bad = EngineConfig::straight(vec![0..2, 2..5], 2, 0.1);
+        assert!(PipelineTrainer::new(model.clone(), bad).is_err());
+        // Zero replicas.
+        #[allow(clippy::single_range_in_vec_init)] // one stage covering 0..6
+        let mut bad = EngineConfig::straight(vec![0..6], 2, 0.1);
+        bad.replication = vec![0];
+        assert!(PipelineTrainer::new(model.clone(), bad).is_err());
+        // Batch not divisible by micro-batches.
+        #[allow(clippy::single_range_in_vec_init)] // one stage covering 0..6
+        let cfg = EngineConfig::straight(vec![0..6], 5, 0.1);
+        let trainer = PipelineTrainer::new(model, cfg).unwrap();
+        let (x, t) = data::regression_batch(24, 5, 3, 1);
+        assert!(trainer.step_grads(&x, &t).is_err());
+    }
+
+    /// Softmax cross-entropy through the pipeline matches the sequential
+    /// reference, and pipelined classification training reduces the loss.
+    #[test]
+    fn softmax_pipeline_matches_reference_and_trains() {
+        use crate::loss::LossKind;
+        let dims = [6usize, 16, 16, 12, 8, 6, 4];
+        let model = MlpModel::new(&dims, 21);
+        // One-hot classification targets from a deterministic rule.
+        let (x, _) = data::regression_batch(24, 6, 4, 31);
+        let mut t = crate::tensor::Tensor::zeros(24, 4);
+        for r in 0..24 {
+            let c = (x.row(r)[0].abs() * 37.0) as usize % 4;
+            t.data[r * 4 + c] = 1.0;
+        }
+        let (ref_loss, ref_grads) = model.reference_grads_loss(&x, &t, 4, LossKind::SoftmaxXent);
+        let cfg = EngineConfig {
+            stage_bounds: vec![0..2, 2..4, 4..6],
+            replication: vec![2, 1, 1],
+            schedule: Schedule::Dapple(KPolicy::PB),
+            micro_batches: 4,
+            recompute: false,
+            lr: 0.5,
+            max_in_flight: usize::MAX,
+            loss: LossKind::SoftmaxXent,
+        };
+        let mut trainer = PipelineTrainer::new(model, cfg).unwrap();
+        let (loss, grads) = trainer.step_grads(&x, &t).unwrap();
+        assert!((loss - ref_loss).abs() < 1e-4 * ref_loss.max(1e-3));
+        grads_close(&grads, &ref_grads, 2e-4);
+        // And training actually learns the labels.
+        let first = trainer.train_step(&x, &t).unwrap().loss;
+        let mut last = first;
+        for _ in 0..300 {
+            last = trainer.train_step(&x, &t).unwrap().loss;
+        }
+        assert!(last < 0.6 * first, "{first} -> {last}");
+    }
+
+    /// Adam through the pipeline: train_step_with drives the optimizer on
+    /// pipeline gradients and converges faster than plain SGD here.
+    #[test]
+    fn pipeline_with_adam_optimizer() {
+        use crate::optim::Optimizer;
+        let dims = [5usize, 16, 16, 3];
+        let (x, t) = data::regression_batch(32, 5, 3, 17);
+        let cfg = EngineConfig::straight(vec![0..1, 1..3], 4, 0.05);
+        let mut sgd_pipe = PipelineTrainer::new(MlpModel::new(&dims, 5), cfg.clone()).unwrap();
+        let mut adam_pipe = PipelineTrainer::new(MlpModel::new(&dims, 5), cfg).unwrap();
+        let mut adam = Optimizer::adam(0.02, &adam_pipe.model);
+        let mut sgd_last = 0.0;
+        let mut adam_last = 0.0;
+        for _ in 0..60 {
+            sgd_last = sgd_pipe.train_step(&x, &t).unwrap().loss;
+            adam_last = adam_pipe.train_step_with(&x, &t, &mut adam).unwrap().loss;
+        }
+        assert!(adam_last < sgd_last, "adam {adam_last} vs sgd {sgd_last}");
+    }
+
+    /// Failure injection: a worker hitting a shape fault mid-pipeline
+    /// must tear the whole step down with a panic (dropped channels
+    /// cascade), never deadlock the remaining stage threads.
+    #[test]
+    fn worker_fault_cascades_instead_of_hanging() {
+        // Last stage's layer output width (3) will not match the target
+        // width (2), so its loss computation asserts during Bw(0) while
+        // other workers are mid-schedule.
+        let model = model6();
+        let cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+        let trainer = PipelineTrainer::new(model, cfg).unwrap();
+        let (x, _) = data::regression_batch(24, 5, 3, 9);
+        let bad_t = crate::tensor::Tensor::zeros(24, 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = trainer.step_grads(&x, &bad_t);
+        }));
+        assert!(result.is_err(), "shape fault must panic, not hang");
+    }
+
+    /// Micro-batch slice not divisible by a stage's replication.
+    #[test]
+    fn replication_divisibility_enforced() {
+        let model = model6();
+        let cfg = EngineConfig {
+            stage_bounds: vec![0..3, 3..6],
+            replication: vec![5, 1],
+            schedule: Schedule::GPipe,
+            micro_batches: 4,
+            recompute: false,
+            lr: 0.1,
+            max_in_flight: usize::MAX,
+            loss: LossKind::Mse,
+        };
+        let trainer = PipelineTrainer::new(model, cfg).unwrap();
+        let (x, t) = data::regression_batch(24, 5, 3, 2); // mb = 6, r = 5
+        assert!(trainer.step_grads(&x, &t).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! A minimal row-major 2-D tensor.
+//!
+//! Deliberately small: dense matmul, transpose, row slicing/concat and
+//! element-wise helpers — everything an MLP pipeline needs, nothing more.
+//! Matmul parallelizes over rows with rayon above a size threshold.
+
+use rayon::prelude::*;
+
+/// Row-major `rows x cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Number of rows (samples).
+    pub rows: usize,
+    /// Number of columns (features).
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+/// Below this many output elements, matmul stays single-threaded.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+impl Tensor {
+    /// Zero-filled tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major vector. Panics on length mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tensor shape mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self (n x k) * rhs (k x m) -> (n x m)`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dims");
+        let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0f32; n * m];
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[i * m..(i + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+        if n * m >= PAR_THRESHOLD {
+            out.par_chunks_mut(m).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(m).enumerate().for_each(body);
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.data.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c * self.rows + r] = self.at(r, c);
+            }
+        }
+        Tensor::from_vec(self.cols, self.rows, out)
+    }
+
+    /// Adds a bias row vector to every row.
+    pub fn add_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length");
+        for row in self.data.chunks_mut(self.cols) {
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += *b;
+            }
+        }
+    }
+
+    /// Column sums (used for bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for row in self.data.chunks(self.cols) {
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += *v;
+            }
+        }
+        out
+    }
+
+    /// Copy of rows `range`.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Tensor {
+        assert!(range.end <= self.rows, "row slice out of range");
+        let data = self.data[range.start * self.cols..range.end * self.cols].to_vec();
+        Tensor::from_vec(range.len(), self.cols, data)
+    }
+
+    /// Vertically concatenates tensors with equal column counts.
+    pub fn concat_rows(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let cols = parts[0].cols;
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "concat column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// Element-wise `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.data.len(), other.data.len(), "add shape");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// Element-wise scale.
+    pub fn scale(&mut self, k: f32) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i).data, a.data);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at(2, 1), 6.0);
+    }
+
+    #[test]
+    fn bias_and_col_sums() {
+        let mut a = Tensor::zeros(3, 2);
+        a.add_bias(&[1.0, 2.0]);
+        assert_eq!(a.col_sums(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_concat_round_trip() {
+        let a = Tensor::from_vec(4, 2, (0..8).map(|v| v as f32).collect());
+        let parts = [a.slice_rows(0..1), a.slice_rows(1..3), a.slice_rows(3..4)];
+        assert_eq!(Tensor::concat_rows(&parts), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Big enough to trigger the rayon path.
+        let n = 80;
+        let a = Tensor::from_vec(n, n, (0..n * n).map(|v| (v % 13) as f32 * 0.1).collect());
+        let b = Tensor::from_vec(n, n, (0..n * n).map(|v| (v % 7) as f32 * 0.2).collect());
+        let c = a.matmul(&b);
+        // Spot-check a few entries against a scalar computation.
+        for &(r, col) in &[(0usize, 0usize), (17, 43), (79, 79)] {
+            let mut want = 0.0f32;
+            for i in 0..n {
+                want += a.at(r, i) * b.at(i, col);
+            }
+            let got = c.at(r, col);
+            assert!((got - want).abs() < 1e-2, "({r},{col}): {got} vs {want}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_distributes_over_addition(
+            n in 1usize..6, k in 1usize..6, m in 1usize..6, seed in 0u64..100
+        ) {
+            let fill = |salt: u64, len: usize| -> Vec<f32> {
+                (0..len)
+                    .map(|i| (((i as u64 + salt).wrapping_mul(seed + 1) % 17) as f32 - 8.0) * 0.25)
+                    .collect()
+            };
+            let a = Tensor::from_vec(n, k, fill(1, n * k));
+            let b1 = Tensor::from_vec(k, m, fill(2, k * m));
+            let b2 = Tensor::from_vec(k, m, fill(3, k * m));
+            let mut b_sum = b1.clone();
+            b_sum.add_assign(&b2);
+            let mut lhs = a.matmul(&b1);
+            lhs.add_assign(&a.matmul(&b2));
+            let rhs = a.matmul(&b_sum);
+            for (x, y) in lhs.data.iter().zip(&rhs.data) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn slice_rows_preserves_content(rows in 1usize..10, cols in 1usize..6) {
+            let t = Tensor::from_vec(rows, cols, (0..rows * cols).map(|v| v as f32).collect());
+            for start in 0..rows {
+                for end in start + 1..=rows {
+                    let s = t.slice_rows(start..end);
+                    for r in 0..s.rows {
+                        prop_assert_eq!(s.row(r), t.row(start + r));
+                    }
+                }
+            }
+        }
+    }
+}

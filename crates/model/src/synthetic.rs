@@ -1,0 +1,124 @@
+//! Parameterized synthetic models for tests, ablations and property-based
+//! testing.
+
+use crate::graph::{ModelGraph, ModelSpec, OptimizerKind};
+use crate::layer::Layer;
+use dapple_core::Bytes;
+
+/// Builds a uniform model: `n` identical layers.
+///
+/// Useful for pipeline-efficiency analysis where closed-form expectations
+/// exist (e.g. the bubble ratio `(S-1)/(M+S-1)` of an even pipeline).
+pub fn uniform(
+    n: usize,
+    fw_us_per_sample: f64,
+    param_bytes: Bytes,
+    act_bytes: Bytes,
+) -> ModelGraph {
+    let layers = (0..n)
+        .map(|i| {
+            Layer::from_ref_time(
+                format!("uniform_{i:02}"),
+                fw_us_per_sample,
+                param_bytes,
+                act_bytes,
+                act_bytes.scale(2.0),
+            )
+        })
+        .collect();
+    ModelGraph::new(format!("Uniform-{n}"), layers, act_bytes).unwrap()
+}
+
+/// Builds a model whose per-layer compute ramps linearly from
+/// `fw_us_per_sample` to `fw_us_per_sample * (1 + ramp)`.
+pub fn ramped(n: usize, fw_us_per_sample: f64, ramp: f64, param_bytes: Bytes) -> ModelGraph {
+    let layers = (0..n)
+        .map(|i| {
+            let scale = 1.0 + ramp * i as f64 / (n.max(2) - 1) as f64;
+            Layer::from_ref_time(
+                format!("ramped_{i:02}"),
+                fw_us_per_sample * scale,
+                param_bytes,
+                Bytes::mib(1.0),
+                Bytes::mib(2.0),
+            )
+        })
+        .collect();
+    ModelGraph::new(format!("Ramped-{n}"), layers, Bytes::mib(1.0)).unwrap()
+}
+
+/// Builds a model from explicit per-layer `(fw_us, param_mb, act_mb)`
+/// triples — the workhorse for unit tests that need a precise shape.
+pub fn from_triples(triples: &[(f64, f64, f64)]) -> ModelGraph {
+    let layers = triples
+        .iter()
+        .enumerate()
+        .map(|(i, &(fw, p, a))| {
+            Layer::from_ref_time(
+                format!("layer_{i:02}"),
+                fw,
+                Bytes::mib(p),
+                Bytes::mib(a),
+                Bytes::mib(2.0 * a),
+            )
+        })
+        .collect();
+    ModelGraph::new("Custom", layers, Bytes::mib(triples[0].2)).unwrap()
+}
+
+/// Wraps a graph into a [`ModelSpec`] with the given batch configuration.
+pub fn spec(graph: ModelGraph, profile_batch: usize, global_batch: usize) -> ModelSpec {
+    ModelSpec {
+        graph,
+        profile_batch,
+        global_batch,
+        optimizer: OptimizerKind::Adam,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_layers_are_identical() {
+        let g = uniform(8, 100.0, Bytes::mib(4.0), Bytes::mib(1.0));
+        assert_eq!(g.num_layers(), 8);
+        for l in &g.layers[1..] {
+            assert_eq!(l.flops_fw, g.layers[0].flops_fw);
+            assert_eq!(l.param_bytes, g.layers[0].param_bytes);
+        }
+    }
+
+    #[test]
+    fn ramped_is_monotone() {
+        let g = ramped(10, 50.0, 0.4, Bytes::mib(1.0));
+        for w in g.layers.windows(2) {
+            assert!(w[1].flops_fw > w[0].flops_fw);
+        }
+        let ratio = g.layers[9].flops_fw / g.layers[0].flops_fw;
+        assert!((ratio - 1.4).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn uniform_totals_scale_linearly(n in 1usize..64, fw in 1.0f64..1e4) {
+            let g = uniform(n, fw, Bytes::mib(1.0), Bytes::mib(1.0));
+            let total = g.total_flops_fw();
+            let expect = fw * crate::FLOPS_PER_US * n as f64;
+            prop_assert!((total - expect).abs() < 1e-6 * expect);
+        }
+
+        #[test]
+        fn from_triples_preserves_order(
+            triples in proptest::collection::vec((1.0f64..100.0, 0.1f64..10.0, 0.1f64..10.0), 1..20)
+        ) {
+            let g = from_triples(&triples);
+            prop_assert_eq!(g.num_layers(), triples.len());
+            for (l, t) in g.layers.iter().zip(&triples) {
+                prop_assert!((l.flops_fw / crate::FLOPS_PER_US - t.0).abs() < 1e-9 * t.0.max(1.0));
+            }
+        }
+    }
+}

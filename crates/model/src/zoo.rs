@@ -1,0 +1,424 @@
+//! The six benchmark models of Table II, calibrated against the paper.
+//!
+//! Calibration sources, per model:
+//!
+//! * **parameter totals** — Table II (`# of Params`) and Table I
+//!   (`Gradient Size` = fp32 parameter bytes);
+//! * **boundary activations** — Table I (`Activation Size at the Partition
+//!   Boundaries`, measured at the profile batch size of Table II);
+//! * **per-layer distribution** — §VI-B/C prose: GNMT decoder layers cost
+//!   1.45x its encoder layers; BERT/XLNet layers are uniform; 70% of
+//!   VGG-19's weights sit in the first fully-connected layer while compute
+//!   concentrates in the convolutions; AmoebaNet's last third holds 73% of
+//!   parameters and per-cell compute grows by up to 40% with depth;
+//! * **compute scale** — chosen so the ACR values (cross-stage
+//!   communication / stage compute, Table V) come out near the published
+//!   figures on the Table III interconnects.
+//!
+//! All times are expressed through [`Layer::from_ref_time`] against the
+//! 10 TFLOPs reference device.
+
+use crate::graph::{ModelGraph, ModelSpec, OptimizerKind};
+use crate::layer::Layer;
+use dapple_core::Bytes;
+
+fn mib(v: f64) -> Bytes {
+    // Decimal megabytes: the unit of the paper's tables.
+    Bytes::mb(v)
+}
+
+/// GNMT-16: 8 encoder + 8 decoder LSTM layers, 291 M params (§VI, Table II).
+///
+/// Decoder layers carry ~1.45x the per-layer workload of encoder layers,
+/// which is why the planner shifts the even 8:8 split to 9:7 (§VI-B).
+pub fn gnmt16() -> ModelSpec {
+    let per_layer_params = mib(291.0 * 4.0 / 16.0); // uniform parameter spread
+    let act = mib(26.0 / 64.0); // 26 MB boundary activation at batch 64
+    let stored = act.scale(2.0);
+    let mut layers = Vec::with_capacity(16);
+    for i in 0..8 {
+        layers.push(Layer::from_ref_time(
+            format!("encoder_{i:02}"),
+            70.0,
+            per_layer_params,
+            act,
+            stored,
+        ));
+    }
+    for i in 0..8 {
+        layers.push(Layer::from_ref_time(
+            format!("decoder_{i:02}"),
+            70.0 * 1.45,
+            per_layer_params,
+            act,
+            stored,
+        ));
+    }
+    ModelSpec {
+        graph: ModelGraph::new("GNMT-16", layers, mib(0.05))
+            .unwrap()
+            .with_saturation(64.0 / 16.0),
+        profile_batch: 64,
+        global_batch: 1024,
+        optimizer: OptimizerKind::Adam,
+    }
+}
+
+/// BERT with `n` total units: one embedding unit plus `n - 1` encoder
+/// layers. `bert(48)` is the paper's BERT-48 (640 M params); `bert(26)`
+/// approximates BERT-Large (Table VII).
+///
+/// Encoder layers are uniform: 12.94 M params, 4.4 MB/sample boundary
+/// activation (8.8 MB at the profile batch of 2, Table I), ~12 MB/sample of
+/// stored activations (so that 48 units at batch 2 cost 11.4 GB total with
+/// Adam state, Table II).
+pub fn bert(n_units: usize) -> ModelSpec {
+    assert!(n_units >= 2, "bert needs an embedding and >= 1 encoder");
+    let enc_params = mib((640.0 - 31.8) * 4.0 / 47.0); // calibrated on BERT-48
+    let act = mib(4.4);
+    let stored = mib(12.0);
+    let mut layers = Vec::with_capacity(n_units);
+    layers.push(Layer::from_ref_time(
+        "embedding",
+        80.0,
+        mib(31.8 * 4.0),
+        act,
+        mib(5.0),
+    ));
+    for i in 0..n_units - 1 {
+        layers.push(Layer::from_ref_time(
+            format!("encoder_{i:02}"),
+            650.0,
+            enc_params,
+            act,
+            stored,
+        ));
+    }
+    let name = match n_units {
+        48 => "BERT-48".to_string(),
+        26 => "BERT-Large".to_string(),
+        n => format!("BERT-{n}"),
+    };
+    ModelSpec {
+        graph: ModelGraph::new(name, layers, mib(0.01))
+            .unwrap()
+            .with_saturation(2.0 / 16.0),
+        profile_batch: 2,
+        global_batch: 64,
+        optimizer: OptimizerKind::Adam,
+    }
+}
+
+/// BERT-48 (640 M params), the paper's main language-model benchmark.
+pub fn bert48() -> ModelSpec {
+    bert(48)
+}
+
+/// BERT-Large (~26 planning units), used in the PipeDream comparison
+/// (Table VII / Fig. 13) with a global batch of 128.
+pub fn bert_large() -> ModelSpec {
+    let mut spec = bert(26);
+    spec.global_batch = 128;
+    spec
+}
+
+/// XLNet-36: 36 uniform two-stream attention layers, 500 M params.
+///
+/// Per-layer compute is ~2.5x a BERT layer (two-stream attention over long
+/// sequences), which drives its very low ACR of 0.03 on Config A.
+pub fn xlnet36() -> ModelSpec {
+    let per_layer_params = mib(500.0 * 4.0 / 36.0);
+    let act = mib(4.2);
+    let stored = mib(110.0); // 12 GB total at batch 1 with Adam state (Table II)
+    let layers = (0..36)
+        .map(|i| {
+            Layer::from_ref_time(
+                format!("xl_layer_{i:02}"),
+                1660.0,
+                per_layer_params,
+                act,
+                stored,
+            )
+        })
+        .collect();
+    ModelSpec {
+        graph: ModelGraph::new("XLNet-36", layers, mib(0.01))
+            .unwrap()
+            .with_saturation(1.0 / 16.0),
+        profile_batch: 1,
+        global_batch: 128,
+        optimizer: OptimizerKind::Adam,
+    }
+}
+
+/// ResNet-50 as 18 planning units: stem, 16 residual blocks, classifier.
+///
+/// Small weights (24.5 M params / 98 MB gradients) and high compute density
+/// make DP the winning plan on every interconnect (Table V).
+pub fn resnet50() -> ModelSpec {
+    let mut layers = Vec::with_capacity(18);
+    layers.push(Layer::from_ref_time(
+        "stem",
+        40.0,
+        mib(0.4),
+        mib(0.77),
+        mib(1.2),
+    ));
+    // Stage channel doubling: blocks get heavier in params, outputs shrink.
+    let stage_of = |b: usize| match b {
+        0..=2 => 0usize,
+        3..=6 => 1,
+        7..=12 => 2,
+        _ => 3,
+    };
+    for b in 0..16 {
+        let s = stage_of(b);
+        let params = mib([0.9, 2.0, 4.4, 16.0][s]);
+        let out = mib([0.77, 0.38, 0.19, 0.10][s]);
+        let stored = mib([0.6, 0.35, 0.2, 0.12][s]);
+        layers.push(Layer::from_ref_time(
+            format!("block_{b:02}"),
+            21.0,
+            params,
+            out,
+            stored,
+        ));
+    }
+    layers.push(Layer::from_ref_time(
+        "fc",
+        2.0,
+        mib(8.0),
+        mib(0.004),
+        mib(0.01),
+    ));
+    ModelSpec {
+        graph: ModelGraph::new("ResNet-50", layers, mib(0.574))
+            .unwrap()
+            .with_saturation(128.0 / 16.0),
+        profile_batch: 128,
+        global_batch: 2048,
+        optimizer: OptimizerKind::SgdMomentum,
+    }
+}
+
+/// VGG-19: 16 convolution layers + 3 fully-connected layers.
+///
+/// Compute concentrates at the front (convolutions, real VGG-19 FLOPs);
+/// ~70% of the weights sit in fc1 (411 MB). Block-final convolutions fold
+/// the following max-pool, so their output activation is the pooled size —
+/// the tensor that would actually cross a stage boundary there.
+pub fn vgg19() -> ModelSpec {
+    // (name, fw µs/sample on ref device, params MB, out act MB, stored MB)
+    #[rustfmt::skip]
+    let spec: &[(&str, f64, f64, f64, f64)] = &[
+        ("conv1_1",  17.0,   0.007, 12.25, 27.0),
+        ("conv1_2", 370.0,   0.144,  3.06, 27.0),
+        ("conv2_1", 185.0,   0.29,   6.125, 13.5),
+        ("conv2_2", 370.0,   0.59,   1.53, 13.5),
+        ("conv3_1", 185.0,   1.18,   3.06,  7.0),
+        ("conv3_2", 370.0,   2.36,   3.06,  7.0),
+        ("conv3_3", 370.0,   2.36,   3.06,  7.0),
+        ("conv3_4", 370.0,   2.36,   0.766, 7.0),
+        ("conv4_1", 185.0,   4.7,    1.53,  3.5),
+        ("conv4_2", 370.0,   9.4,    1.53,  3.5),
+        ("conv4_3", 370.0,   9.4,    1.53,  3.5),
+        ("conv4_4", 370.0,   9.4,    0.38,  3.5),
+        ("conv5_1",  92.5,   9.4,    0.38,  0.9),
+        ("conv5_2",  92.5,   9.4,    0.38,  0.9),
+        ("conv5_3",  92.5,   9.4,    0.38,  0.9),
+        ("conv5_4",  92.5,   9.4,    0.10,  0.9),
+        ("fc1",      20.5, 411.0,    0.016, 0.033),
+        ("fc2",       3.4,  67.0,    0.016, 0.033),
+        ("fc3",       0.8,  16.4,    0.004, 0.008),
+    ];
+    let layers = spec
+        .iter()
+        .map(|&(name, fw, p, out, stored)| {
+            Layer::from_ref_time(name, fw, mib(p), mib(out), mib(stored))
+        })
+        .collect();
+    ModelSpec {
+        graph: ModelGraph::new("VGG-19", layers, mib(0.574))
+            .unwrap()
+            .with_saturation(32.0 / 16.0),
+        profile_batch: 32,
+        global_batch: 2048,
+        optimizer: OptimizerKind::SgdMomentum,
+    }
+}
+
+/// AmoebaNet-36: 36 normal cells.
+///
+/// The last third of the cells holds 73% of all parameters, and per-cell
+/// compute grows linearly with depth to +40% (§VI-C). Stored activations
+/// are large enough that pure DP is infeasible on a 16 GB device even at
+/// batch size 1 (Table II: 20 GB at batch 1).
+pub fn amoebanet36() -> ModelSpec {
+    let early = mib(933.0 * 4.0 * 0.27 / 24.0); // cells 0..24: 27% of params
+    let late = mib(933.0 * 4.0 * 0.73 / 12.0); // cells 24..36: 73% of params
+    let act = mib(11.2);
+    let stored = mib(244.0);
+    let layers = (0..36)
+        .map(|i| {
+            let params = if i < 24 { early } else { late };
+            let fw = 600.0 * (1.0 + 0.4 * i as f64 / 35.0);
+            Layer::from_ref_time(format!("cell_{i:02}"), fw, params, act, stored)
+        })
+        .collect();
+    ModelSpec {
+        graph: ModelGraph::new("AmoebaNet-36", layers, mib(0.574))
+            .unwrap()
+            .with_saturation(1.0 / 16.0),
+        profile_batch: 1,
+        global_batch: 128,
+        optimizer: OptimizerKind::RmsProp,
+    }
+}
+
+/// All Table V benchmark models, in the paper's row order.
+pub fn table_v_models() -> Vec<ModelSpec> {
+    vec![
+        resnet50(),
+        vgg19(),
+        gnmt16(),
+        bert48(),
+        xlnet36(),
+        amoebanet36(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table II parameter counts (millions), tolerance 5%.
+    #[test]
+    fn parameter_totals_match_table2() {
+        let cases = [
+            (gnmt16().graph, 291.0),
+            (bert48().graph, 640.0),
+            (xlnet36().graph, 500.0),
+            (resnet50().graph, 24.5),
+            (vgg19().graph, 137.0),
+            (amoebanet36().graph, 933.0),
+        ];
+        for (g, want_m) in cases {
+            let got_m = g.total_params() as f64 / 1e6;
+            let rel = (got_m - want_m).abs() / want_m;
+            assert!(
+                rel < 0.05,
+                "{}: {got_m:.1}M params vs Table II {want_m}M (rel {rel:.3})",
+                g.name
+            );
+        }
+    }
+
+    /// Table I gradient sizes (fp32 parameter bytes), tolerance 10%.
+    #[test]
+    fn gradient_sizes_match_table1() {
+        let cases = [
+            (gnmt16().graph, 1.1),
+            (bert48().graph, 2.56), // Table I rounds to 2.8 GB
+            (xlnet36().graph, 2.0), // Table I rounds to 2.1 GB
+            (amoebanet36().graph, 3.7),
+            (vgg19().graph, 0.55),
+        ];
+        for (g, want_gb) in cases {
+            let got_gb = g.total_param_bytes().as_f64() / 1e9;
+            let rel = (got_gb - want_gb).abs() / want_gb;
+            assert!(
+                rel < 0.10,
+                "{}: {got_gb:.2} GB grads vs {want_gb} GB (rel {rel:.3})",
+                g.name
+            );
+        }
+    }
+
+    /// Table I boundary activations at the profile batch size.
+    #[test]
+    fn boundary_activations_match_table1() {
+        // (spec, boundary layer index, expected MB at profile batch)
+        let cases = [
+            (gnmt16(), 8, 26.0),
+            (bert48(), 24, 8.8),
+            (xlnet36(), 18, 4.2),
+            (amoebanet36(), 24, 11.2),
+        ];
+        for (spec, boundary, want_mb) in cases {
+            let got_mb = spec.graph.boundary_act(boundary).to_mb() * spec.profile_batch as f64;
+            let rel = (got_mb - want_mb).abs() / want_mb;
+            assert!(
+                rel < 0.10,
+                "{}: boundary act {got_mb:.1} MB vs Table I {want_mb} MB",
+                spec.name()
+            );
+        }
+    }
+
+    /// §VI-C: ~70% of VGG-19 weights in one fc layer; conv compute dominates.
+    #[test]
+    fn vgg_weight_and_compute_distribution() {
+        let g = vgg19().graph;
+        let fc1 = g.layers[16].param_bytes.as_f64();
+        let total = g.total_param_bytes().as_f64();
+        assert!(
+            (fc1 / total - 0.70).abs() < 0.05,
+            "fc1 share {}",
+            fc1 / total
+        );
+        let conv_flops = g.flops_fw_in(0..16);
+        assert!(conv_flops / g.total_flops_fw() > 0.98);
+        // Activations decrease sharply front to back.
+        assert!(g.layers[0].output_act.as_f64() > 100.0 * g.layers[15].output_act.as_f64());
+    }
+
+    /// §VI-C: AmoebaNet's last third holds 73% of parameters and per-cell
+    /// compute grows by at most 40%.
+    #[test]
+    fn amoebanet_distribution() {
+        let g = amoebanet36().graph;
+        let late = g.param_bytes_in(24..36).as_f64();
+        let total = g.total_param_bytes().as_f64();
+        assert!((late / total - 0.73).abs() < 0.02);
+        let first = g.layers[0].flops_fw;
+        let last = g.layers[35].flops_fw;
+        assert!((last / first - 1.4).abs() < 0.01);
+    }
+
+    /// §VI-B: GNMT decoder layers cost 1.45x encoder layers.
+    #[test]
+    fn gnmt_decoder_heavier() {
+        let g = gnmt16().graph;
+        let ratio = g.layers[8].flops_fw / g.layers[0].flops_fw;
+        assert!((ratio - 1.45).abs() < 0.01);
+    }
+
+    /// Table VIII: BERT params scale linearly with encoder count.
+    #[test]
+    fn bert_weak_scaling_params() {
+        let cases = [(48, 0.64e9), (106, 1.4e9), (215, 2.7e9), (428, 5.5e9)];
+        for (n, want) in cases {
+            let got = bert(n).graph.total_params() as f64;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.06, "BERT-{n}: {got:.3e} params vs {want:.3e}");
+        }
+    }
+
+    #[test]
+    fn zoo_models_have_consistent_names() {
+        assert_eq!(bert48().name(), "BERT-48");
+        assert_eq!(bert_large().name(), "BERT-Large");
+        assert_eq!(table_v_models().len(), 6);
+    }
+
+    #[test]
+    fn all_layers_have_positive_compute_and_memory() {
+        for spec in table_v_models() {
+            for l in &spec.graph.layers {
+                assert!(l.flops_fw > 0.0, "{} {}", spec.name(), l.name);
+                assert!(l.output_act.0 > 0, "{} {}", spec.name(), l.name);
+                assert!(l.stored_act.0 > 0, "{} {}", spec.name(), l.name);
+            }
+        }
+    }
+}

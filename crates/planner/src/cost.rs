@@ -1,0 +1,400 @@
+//! Translates candidate partitions into per-stage pipeline costs.
+
+use crate::latency::{pipeline_latency, LatencyBreakdown, StageLatency};
+use dapple_cluster::Cluster;
+use dapple_collectives::{allreduce_us, cross_stage_us};
+use dapple_core::{Bytes, Result, StagePlan};
+use dapple_profiler::{MemoryModel, ModelProfile};
+
+/// Alias used across the planner API.
+pub type StageCost = StageLatency;
+
+/// Result of evaluating a candidate stage list at its best micro-batching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Latency phases at the chosen micro-batch count.
+    pub breakdown: LatencyBreakdown,
+    /// Chosen micro-batch count `M`.
+    pub micro_batches: usize,
+    /// False when no micro-batching fits device memory.
+    pub feasible: bool,
+}
+
+impl EvalResult {
+    /// Total latency, or infinity when infeasible.
+    pub fn total_us(&self) -> f64 {
+        if self.feasible {
+            self.breakdown.total_us()
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Evaluates candidate plans: builds per-stage costs, chooses the
+/// micro-batch count, estimates latency, computes ACR and checks memory.
+///
+/// Per-layer times come from the profile and are assumed linear in the
+/// slice each replica processes, plus a fixed per-layer invocation overhead
+/// (`DeviceSpec::launch_us`) that penalizes very small slices.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    /// The profiled model.
+    pub profile: &'a ModelProfile,
+    /// The target cluster.
+    pub cluster: &'a Cluster,
+    /// Memory accounting (optimizer state + activations + workspace).
+    pub memory: MemoryModel,
+    /// Global batch size per training iteration.
+    pub global_batch: usize,
+    // Prefix sums over layers for O(1) range queries.
+    prefix_fw: Vec<f64>,
+    prefix_bw: Vec<f64>,
+    prefix_params: Vec<u64>,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates a cost model for a profile/cluster/global-batch triple.
+    pub fn new(
+        profile: &'a ModelProfile,
+        cluster: &'a Cluster,
+        memory: MemoryModel,
+        global_batch: usize,
+    ) -> Self {
+        let n = profile.num_layers();
+        let mut prefix_fw = Vec::with_capacity(n + 1);
+        let mut prefix_bw = Vec::with_capacity(n + 1);
+        let mut prefix_params = Vec::with_capacity(n + 1);
+        prefix_fw.push(0.0);
+        prefix_bw.push(0.0);
+        prefix_params.push(0);
+        for l in &profile.layers {
+            prefix_fw.push(prefix_fw.last().unwrap() + l.fw_us);
+            prefix_bw.push(prefix_bw.last().unwrap() + l.bw_us);
+            prefix_params.push(prefix_params.last().unwrap() + l.param_bytes.0);
+        }
+        CostModel {
+            profile,
+            cluster,
+            memory,
+            global_batch,
+            prefix_fw,
+            prefix_bw,
+            prefix_params,
+        }
+    }
+
+    /// Forward time of a layer range at `samples` samples incl. launch
+    /// overhead, µs.
+    #[inline]
+    pub fn fw_us(&self, range: std::ops::Range<usize>, samples: f64) -> f64 {
+        (self.prefix_fw[range.end] - self.prefix_fw[range.start])
+            * (samples + self.profile.saturation_samples)
+            + self.cluster.device.launch_us * range.len() as f64
+    }
+
+    /// Backward time of a layer range at `samples` samples incl. launch
+    /// overhead, µs.
+    #[inline]
+    pub fn bw_us(&self, range: std::ops::Range<usize>, samples: f64) -> f64 {
+        (self.prefix_bw[range.end] - self.prefix_bw[range.start])
+            * (samples + self.profile.saturation_samples)
+            + self.cluster.device.launch_us * range.len() as f64
+    }
+
+    /// Parameter bytes of a layer range.
+    #[inline]
+    pub fn param_bytes(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes(self.prefix_params[range.end] - self.prefix_params[range.start])
+    }
+
+    /// Micro-batch count for a candidate stage list.
+    ///
+    /// The micro-batch is the smallest that still gives every replica of
+    /// the most-replicated stage a whole sample (`mb = max_r`), maximizing
+    /// micro-batch parallelism; `M = GBS / mb`, at least 1.
+    pub fn micro_batches(&self, stages: &[StagePlan]) -> usize {
+        let max_r = stages.iter().map(StagePlan::replication).max().unwrap_or(1);
+        (self.global_batch / max_r.max(1)).max(1)
+    }
+
+    /// Builds the interleaved compute/comm stage-cost list for `m`
+    /// micro-batches.
+    pub fn stage_latencies(&self, stages: &[StagePlan], m: usize) -> Vec<StageLatency> {
+        let mb = self.global_batch as f64 / m as f64;
+        let mut out = Vec::with_capacity(stages.len() * 2);
+        for (i, st) in stages.iter().enumerate() {
+            let slice = mb / st.replication() as f64;
+            let ar = allreduce_us(
+                self.param_bytes(st.layers.clone()),
+                &st.devices,
+                self.cluster,
+            );
+            out.push(StageLatency {
+                fw_us: self.fw_us(st.layers.clone(), slice),
+                bw_us: self.bw_us(st.layers.clone(), slice),
+                allreduce_us: ar,
+            });
+            if i + 1 < stages.len() {
+                let bytes = self.profile.boundary_act(st.layers.end, mb);
+                let t = cross_stage_us(bytes, &st.devices, &stages[i + 1].devices, self.cluster);
+                out.push(StageLatency::comm(t, t));
+            }
+        }
+        out
+    }
+
+    /// Latency of a candidate stage list.
+    ///
+    /// The micro-batch size is itself a planning decision: smaller
+    /// micro-batches mean more of them (`M = GBS / mb`, fewer bubbles,
+    /// lower peak memory) but pay more per-layer invocation overhead and
+    /// shrink the overlap window; larger ones need more activation memory.
+    /// `evaluate` sweeps `mb = max_r, 2 max_r, 4 max_r, ...` up to the
+    /// global batch, keeps memory-feasible candidates and returns the
+    /// fastest. When even the smallest micro-batch cannot fit, the result
+    /// carries `feasible = false`.
+    pub fn evaluate(&self, stages: &[StagePlan], recompute: bool) -> EvalResult {
+        let max_r = stages.iter().map(StagePlan::replication).max().unwrap_or(1);
+        let gbs = self.global_batch;
+        let mut mb = max_r.max(1).min(gbs.max(1));
+        let mut best: Option<EvalResult> = None;
+        let mut last_m = usize::MAX;
+        loop {
+            let m = (gbs / mb).max(1);
+            if m != last_m {
+                last_m = m;
+                let feasible = self.check_memory(stages, m, recompute).is_ok();
+                if !feasible && best.is_some() {
+                    // Memory grows monotonically with micro-batch size.
+                    break;
+                }
+                let lat = self.stage_latencies(stages, m);
+                let breakdown = pipeline_latency(&lat, m);
+                let cand = EvalResult {
+                    breakdown,
+                    micro_batches: m,
+                    feasible,
+                };
+                best = match best {
+                    Some(b)
+                        if (b.feasible && !cand.feasible)
+                            || (b.feasible == cand.feasible
+                                && b.breakdown.total_us() <= cand.breakdown.total_us()) =>
+                    {
+                        Some(b)
+                    }
+                    _ => Some(cand),
+                };
+            }
+            if m == 1 {
+                break;
+            }
+            mb = (mb * 2).min(gbs);
+        }
+        best.expect("at least one micro-batch candidate")
+    }
+
+    /// The averaged cross-stage-communication-to-computation ratio reported
+    /// in Table V: mean comm-stage (F+B) over mean compute-stage (F+B).
+    /// Zero for single-stage (DP) plans.
+    pub fn acr(&self, stages: &[StagePlan], m: usize) -> f64 {
+        if stages.len() <= 1 {
+            return 0.0;
+        }
+        let lat = self.stage_latencies(stages, m);
+        // Even indices are compute stages, odd are comm stages.
+        let (mut comm, mut ncomm, mut comp, mut ncomp) = (0.0, 0usize, 0.0, 0usize);
+        for (i, s) in lat.iter().enumerate() {
+            if i % 2 == 0 {
+                comp += s.fw_us + s.bw_us;
+                ncomp += 1;
+            } else {
+                comm += s.fw_us + s.bw_us;
+                ncomm += 1;
+            }
+        }
+        (comm / ncomm as f64) / (comp / ncomp as f64)
+    }
+
+    /// Verifies every stage replica fits device memory with at least one
+    /// live micro-batch (the planner's feasibility bar; the runtime's
+    /// scheduler later bounds in-flight micro-batches by the measured `D`).
+    pub fn check_memory(&self, stages: &[StagePlan], m: usize, recompute: bool) -> Result<()> {
+        let mb = self.global_batch as f64 / m as f64;
+        for st in stages {
+            let slice = mb / st.replication() as f64;
+            self.memory.check_fits(
+                self.profile,
+                st.layers.clone(),
+                slice,
+                1,
+                recompute,
+                &self.cluster.device,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Time to process one global batch serially on a single device — the
+    /// denominator of the paper's training-speedup metric (§VI-C).
+    pub fn single_device_us(&self) -> f64 {
+        let n = self.profile.num_layers();
+        self.fw_us(0..n, self.global_batch as f64) + self.bw_us(0..n, self.global_batch as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapple_core::DeviceId;
+    use dapple_model::{synthetic, OptimizerKind};
+    use dapple_profiler::ModelProfile;
+
+    fn devs(r: std::ops::Range<u32>) -> Vec<DeviceId> {
+        r.map(DeviceId).collect()
+    }
+
+    fn setup(cluster: &Cluster) -> (ModelProfile, MemoryModel) {
+        let g = synthetic::uniform(8, 100.0, Bytes::mb(40.0), Bytes::mb(1.0));
+        let p = ModelProfile::profile(&g, &cluster.device);
+        (p, MemoryModel::new(OptimizerKind::Adam))
+    }
+
+    #[test]
+    fn prefix_sums_match_direct_queries() {
+        let cluster = Cluster::config_a(2);
+        let (p, mm) = setup(&cluster);
+        let cm = CostModel::new(&p, &cluster, mm, 64);
+        let launch = cluster.device.launch_us;
+        assert!((cm.fw_us(0..4, 2.0) - (800.0 + 4.0 * launch)).abs() < 1e-9);
+        assert!((cm.bw_us(2..6, 1.0) - (800.0 + 4.0 * launch)).abs() < 1e-9);
+        assert_eq!(cm.param_bytes(0..8), Bytes::mb(320.0));
+        assert_eq!(cm.param_bytes(3..3), Bytes::ZERO);
+    }
+
+    #[test]
+    fn micro_batches_track_max_replication() {
+        let cluster = Cluster::config_a(2);
+        let (p, mm) = setup(&cluster);
+        let cm = CostModel::new(&p, &cluster, mm, 64);
+        let dp = vec![StagePlan::new(0..8, devs(0..16))];
+        assert_eq!(cm.micro_batches(&dp), 4);
+        let hybrid = vec![
+            StagePlan::new(0..4, devs(0..8)),
+            StagePlan::new(4..8, devs(8..16)),
+        ];
+        assert_eq!(cm.micro_batches(&hybrid), 8);
+        let straight: Vec<StagePlan> = (0..8)
+            .map(|i| StagePlan::new(i..i + 1, vec![DeviceId(i as u32)]))
+            .collect();
+        assert_eq!(cm.micro_batches(&straight), 64);
+    }
+
+    #[test]
+    fn stage_latencies_interleave_comm() {
+        let cluster = Cluster::config_a(2);
+        let (p, mm) = setup(&cluster);
+        let cm = CostModel::new(&p, &cluster, mm, 64);
+        let hybrid = vec![
+            StagePlan::new(0..4, devs(0..8)),
+            StagePlan::new(4..8, devs(8..16)),
+        ];
+        let lat = cm.stage_latencies(&hybrid, 8);
+        assert_eq!(lat.len(), 3);
+        // Comm stage (odd index) has no AllReduce; compute stages do
+        // (replication 8 on one machine each).
+        assert_eq!(lat[1].allreduce_us, 0.0);
+        assert!(lat[0].allreduce_us > 0.0);
+        assert!(lat[2].allreduce_us > 0.0);
+        // Stage compute: 4 layers x 100 µs x slice 1 + launch overhead.
+        assert!((lat[0].fw_us - (400.0 + 40.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreplicated_stage_has_no_allreduce() {
+        let cluster = Cluster::config_b(2);
+        let (p, mm) = setup(&cluster);
+        let cm = CostModel::new(&p, &cluster, mm, 16);
+        let straight = vec![
+            StagePlan::new(0..4, vec![DeviceId(0)]),
+            StagePlan::new(4..8, vec![DeviceId(1)]),
+        ];
+        let lat = cm.stage_latencies(&straight, 16);
+        assert_eq!(lat[0].allreduce_us, 0.0);
+        assert_eq!(lat[2].allreduce_us, 0.0);
+        assert!(lat[1].fw_us > 0.0);
+    }
+
+    #[test]
+    fn acr_reflects_link_speed() {
+        let (pa, mm) = setup(&Cluster::config_b(2));
+        let b = Cluster::config_b(2);
+        let c = Cluster::config_c(2);
+        let cm_b = CostModel::new(&pa, &b, mm, 16);
+        let cm_c = CostModel::new(&pa, &c, mm, 16);
+        let stages = vec![
+            StagePlan::new(0..4, vec![DeviceId(0)]),
+            StagePlan::new(4..8, vec![DeviceId(1)]),
+        ];
+        let acr_b = cm_b.acr(&stages, 16);
+        let acr_c = cm_c.acr(&stages, 16);
+        assert!(acr_c > acr_b * 1.5, "acr_b={acr_b} acr_c={acr_c}");
+        // Single-stage plans have no cross-stage communication.
+        let dp = vec![StagePlan::new(0..8, devs(0..2))];
+        assert_eq!(cm_b.acr(&dp, 8), 0.0);
+    }
+
+    #[test]
+    fn memory_check_catches_oversized_stage() {
+        let cluster = Cluster::config_a(1);
+        // 2 layers x 20 GB of parameters: cannot fit a 16 GB device.
+        let g = synthetic::uniform(2, 10.0, Bytes::gb(20.0), Bytes::mb(1.0));
+        let p = ModelProfile::profile(&g, &cluster.device);
+        let cm = CostModel::new(&p, &cluster, MemoryModel::new(OptimizerKind::Adam), 8);
+        let dp = vec![StagePlan::new(0..2, devs(0..8))];
+        assert!(cm.check_memory(&dp, 1, false).is_err());
+    }
+
+    #[test]
+    fn evaluate_picks_a_feasible_schedule() {
+        let cluster = Cluster::config_a(2);
+        let (p, mm) = setup(&cluster);
+        let cm = CostModel::new(&p, &cluster, mm, 64);
+        let hybrid = vec![
+            StagePlan::new(0..4, devs(0..8)),
+            StagePlan::new(4..8, devs(8..16)),
+        ];
+        let ev = cm.evaluate(&hybrid, false);
+        assert!(ev.feasible);
+        assert!(ev.micro_batches >= 1 && ev.micro_batches <= 8);
+        assert!(ev.total_us() > 0.0);
+        assert!(ev.breakdown.warmup_us > 0.0);
+        // The chosen schedule is never slower than the finest micro-batching.
+        let finest = cm.stage_latencies(&hybrid, 8);
+        let finest_l = crate::latency::pipeline_latency(&finest, 8).total_us();
+        assert!(ev.total_us() <= finest_l + 1e-6);
+    }
+
+    #[test]
+    fn evaluate_flags_infeasible_plans() {
+        let cluster = Cluster::config_a(1);
+        let g = synthetic::uniform(2, 10.0, Bytes::gb(20.0), Bytes::mb(1.0));
+        let p = ModelProfile::profile(&g, &cluster.device);
+        let cm = CostModel::new(&p, &cluster, MemoryModel::new(OptimizerKind::Adam), 8);
+        let dp = vec![StagePlan::new(0..2, devs(0..8))];
+        let ev = cm.evaluate(&dp, false);
+        assert!(!ev.feasible);
+        assert!(ev.total_us().is_infinite());
+    }
+
+    #[test]
+    fn single_device_time_scales_with_gbs() {
+        let cluster = Cluster::config_a(1);
+        let (p, mm) = setup(&cluster);
+        let cm1 = CostModel::new(&p, &cluster, mm, 32);
+        let cm2 = CostModel::new(&p, &cluster, mm, 64);
+        let r = cm2.single_device_us() / cm1.single_device_us();
+        assert!(r > 1.9 && r < 2.1, "{r}");
+    }
+}

@@ -1,0 +1,123 @@
+//! torchgpipe-style even partitioning ("Block Partitions of Sequences",
+//! Bárány & Grinberg) — the community-GPipe baseline of §IV-D.
+//!
+//! Splits the layer chain into `s` contiguous blocks minimizing the
+//! maximum per-block forward+backward time, with one device per block and
+//! no replication. This is the partitioner the GPipe comparisons run on.
+
+use crate::cost::CostModel;
+use dapple_core::{DappleError, DeviceId, Plan, Result, StagePlan};
+
+/// Balanced `s`-way split of the layer chain, one device per stage.
+///
+/// Uses dynamic programming over prefix sums: exact minimization of the
+/// bottleneck block, O(N² · S).
+pub fn plan(cm: &CostModel<'_>, s: usize) -> Result<Plan> {
+    let n = cm.profile.num_layers();
+    if s == 0 || s > n {
+        return Err(DappleError::InvalidConfig(format!(
+            "cannot split {n} layers into {s} stages"
+        )));
+    }
+    if s > cm.cluster.num_devices() {
+        return Err(DappleError::InvalidConfig(format!(
+            "{s} stages need {s} devices, cluster has {}",
+            cm.cluster.num_devices()
+        )));
+    }
+    let block = |range: std::ops::Range<usize>| cm.fw_us(range.clone(), 1.0) + cm.bw_us(range, 1.0);
+
+    // best[j][k] = minimal bottleneck splitting layers 0..j into k blocks.
+    let mut best = vec![vec![(f64::INFINITY, 0usize); s + 1]; n + 1];
+    best[0][0].0 = 0.0;
+    for k in 1..=s {
+        for j in k..=n {
+            for j2 in (k - 1)..j {
+                let (prev, _) = best[j2][k - 1];
+                if !prev.is_finite() {
+                    continue;
+                }
+                let cost = prev.max(block(j2..j));
+                if cost < best[j][k].0 {
+                    best[j][k] = (cost, j2);
+                }
+            }
+        }
+    }
+
+    let mut cuts = Vec::with_capacity(s + 1);
+    let mut j = n;
+    cuts.push(n);
+    for k in (1..=s).rev() {
+        j = best[j][k].1;
+        cuts.push(j);
+    }
+    cuts.reverse();
+    let stages = cuts
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| StagePlan::new(w[0]..w[1], vec![DeviceId::from(i)]))
+        .collect();
+    let plan = Plan::new(stages);
+    plan.validate(n, cm.cluster.num_devices())?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapple_cluster::Cluster;
+    use dapple_core::Bytes;
+    use dapple_model::{synthetic, OptimizerKind};
+    use dapple_profiler::{MemoryModel, ModelProfile};
+
+    fn setup(n: usize, devices: usize) -> (ModelProfile, Cluster) {
+        let c = Cluster::config_b(devices);
+        let g = synthetic::uniform(n, 100.0, Bytes::mb(10.0), Bytes::mb(1.0));
+        (ModelProfile::profile(&g, &c.device), c)
+    }
+
+    #[test]
+    fn uniform_layers_split_evenly() {
+        let (p, c) = setup(8, 4);
+        let cm = CostModel::new(&p, &c, MemoryModel::new(OptimizerKind::Adam), 16);
+        let plan = plan(&cm, 4).unwrap();
+        assert_eq!(plan.split_layer_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(plan.kind(), dapple_core::PlanKind::Straight);
+    }
+
+    #[test]
+    fn bottleneck_is_minimized_on_ramped_model() {
+        let c = Cluster::config_b(2);
+        let g = synthetic::from_triples(&[
+            (10.0, 1.0, 1.0),
+            (10.0, 1.0, 1.0),
+            (10.0, 1.0, 1.0),
+            (30.0, 1.0, 1.0),
+        ]);
+        let p = ModelProfile::profile(&g, &c.device);
+        let cm = CostModel::new(&p, &c, MemoryModel::new(OptimizerKind::Adam), 4);
+        let plan = plan(&cm, 2).unwrap();
+        // Bottleneck-optimal split is 3 | 1 (30+launch vs 30+3*launch),
+        // never 2 | 2 (which puts 40 µs in one block).
+        assert_eq!(plan.split_layer_counts(), vec![3, 1], "{plan}");
+    }
+
+    #[test]
+    fn rejects_bad_stage_counts() {
+        let (p, c) = setup(4, 2);
+        let cm = CostModel::new(&p, &c, MemoryModel::new(OptimizerKind::Adam), 4);
+        assert!(plan(&cm, 0).is_err());
+        assert!(plan(&cm, 5).is_err()); // more stages than layers
+        assert!(plan(&cm, 3).is_err()); // more stages than devices
+    }
+
+    #[test]
+    fn single_stage_covers_everything() {
+        let (p, c) = setup(4, 2);
+        let cm = CostModel::new(&p, &c, MemoryModel::new(OptimizerKind::Adam), 4);
+        let plan = plan(&cm, 1).unwrap();
+        assert_eq!(plan.num_stages(), 1);
+        assert_eq!(plan.stages[0].layers, 0..4);
+    }
+}

@@ -1,0 +1,308 @@
+//! The synchronous pipeline-latency objective (§IV-A, formulas 1–3).
+//!
+//! A pipeline iteration is warmup / steady / ending (Fig. 4). The *pivot
+//! stage* `Q` — the stage with the least bubble overhead — dominates the
+//! steady phase:
+//!
+//! * `Tw` (warmup): one micro-batch's forward through stages `0..=Q`;
+//! * `Ts` (steady): `(M - 1) * (F_Q + B_Q)`;
+//! * drain: the last micro-batch's round trip through the stages after `Q`
+//!   plus `B_Q` (zero-bubble continuation of the steady phase);
+//! * `Te` (ending): the slowest gradient AllReduce, offset by when each
+//!   stage finishes its last backward relative to `Q`.
+//!
+//! The paper's formula 1 folds the drain into `Te`; we keep it explicit —
+//! for `Q = S - 1` (the common case) and for single-stage plans the two
+//! formulations coincide, and the explicit drain also covers mid-pipeline
+//! pivots without under-counting `B_Q` (the paper itself notes its
+//! objective "is an approximation to the true pipeline latency").
+//!
+//! Communication between adjacent compute stages appears as its own stage
+//! with `AR = 0`, per §IV-A ("we consider inter-stage communication as an
+//! independent stage alongside the computation stages").
+
+/// Cost of one pipeline stage (compute or communication) per micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageLatency {
+    /// Forward time per micro-batch, µs.
+    pub fw_us: f64,
+    /// Backward time per micro-batch, µs.
+    pub bw_us: f64,
+    /// Gradient AllReduce time at iteration end, µs (0 for comm stages and
+    /// unreplicated stages).
+    pub allreduce_us: f64,
+}
+
+impl StageLatency {
+    /// A communication stage: forward/backward transfer time, no AllReduce.
+    pub fn comm(fw_us: f64, bw_us: f64) -> Self {
+        StageLatency {
+            fw_us,
+            bw_us,
+            allreduce_us: 0.0,
+        }
+    }
+}
+
+/// The latency estimate, decomposed per the paper's phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Index of the pivot stage `Q` (over the combined compute+comm list).
+    pub pivot: usize,
+    /// Warmup `Tw`, µs.
+    pub warmup_us: f64,
+    /// Steady `Ts = (M-1)(F_Q + B_Q)`, µs.
+    pub steady_us: f64,
+    /// Drain of the last micro-batch through and past `Q`, µs.
+    pub drain_us: f64,
+    /// Ending AllReduce term `Te`, µs.
+    pub ending_us: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total pipeline latency `L`, µs.
+    pub fn total_us(&self) -> f64 {
+        self.warmup_us + self.steady_us + self.drain_us + self.ending_us
+    }
+}
+
+/// Selects the pivot stage `Q` (formula 3).
+///
+/// Starting from the last stage, `Q` moves to an earlier stage `s` whenever
+/// `s`'s bubble-free steady duration exceeds the current pivot's steady
+/// duration plus the forward/backward costs separating them — i.e. when the
+/// steady phase would have fewer bubbles pivoting at `s`.
+pub fn pivot_stage(stages: &[StageLatency], m: usize) -> usize {
+    debug_assert!(!stages.is_empty());
+    let steady = |s: usize| (m.saturating_sub(1)) as f64 * (stages[s].fw_us + stages[s].bw_us);
+    let mut q = stages.len() - 1;
+    // `between` tracks sum of (F+B) over stages strictly between s and q,
+    // maintained incrementally as s walks down (and reset when q moves).
+    let mut between = 0.0;
+    for s in (0..q).rev() {
+        if steady(s) > steady(q) + between {
+            q = s;
+            between = 0.0;
+        } else {
+            between += stages[s].fw_us + stages[s].bw_us;
+        }
+    }
+    q
+}
+
+/// Estimates the synchronous pipeline latency `L` for `m` micro-batches
+/// over `stages` (compute and communication stages interleaved, in order).
+///
+/// ```
+/// use dapple_planner::latency::{pipeline_latency, StageLatency};
+///
+/// // A uniform 4-stage straight pipeline hits the ideal 1F1B makespan
+/// // (M + S - 1)(F + B).
+/// let stage = StageLatency { fw_us: 10.0, bw_us: 20.0, allreduce_us: 0.0 };
+/// let l = pipeline_latency(&[stage; 4], 8);
+/// assert!((l.total_us() - (8 + 4 - 1) as f64 * 30.0).abs() < 1e-9);
+/// ```
+pub fn pipeline_latency(stages: &[StageLatency], m: usize) -> LatencyBreakdown {
+    assert!(!stages.is_empty(), "latency of an empty pipeline");
+    let q = pivot_stage(stages, m);
+    pipeline_latency_with_pivot(stages, m, q)
+}
+
+/// [`pipeline_latency`] with an explicitly chosen pivot stage — used by
+/// the pivot-heuristic ablation (a naive estimator always pivots on the
+/// last stage).
+pub fn pipeline_latency_with_pivot(
+    stages: &[StageLatency],
+    m: usize,
+    q: usize,
+) -> LatencyBreakdown {
+    assert!(!stages.is_empty(), "latency of an empty pipeline");
+    assert!(m >= 1, "at least one micro-batch");
+    assert!(q < stages.len(), "pivot out of range");
+
+    let warmup_us: f64 = stages[..=q].iter().map(|s| s.fw_us).sum();
+    let steady_us = (m - 1) as f64 * (stages[q].fw_us + stages[q].bw_us);
+    // Last micro-batch: forward through the stages after Q, backward all the
+    // way back to Q.
+    let drain_us: f64 = stages[q + 1..]
+        .iter()
+        .map(|s| s.fw_us + s.bw_us)
+        .sum::<f64>()
+        + stages[q].bw_us;
+
+    // Ending: each stage finishes its last backward offset from Q's (the
+    // upstream backward chain still has to drain), then starts its
+    // AllReduce. Offsets are relative to the end of the drain (Q's last
+    // backward): upstream stages (s < Q) finish later by the backward chain
+    // between them and Q; downstream stages finished earlier. Every stage
+    // participates — an unreplicated stage contributes its backward-chain
+    // tail with AR = 0.
+    let mut ending_us: f64 = 0.0;
+    let mut offset = 0.0; // running backward-chain offset relative to Q
+    for s in (0..q).rev() {
+        offset += stages[s].bw_us;
+        ending_us = ending_us.max(stages[s].allreduce_us + offset);
+    }
+    ending_us = ending_us.max(stages[q].allreduce_us);
+    offset = 0.0;
+    for s in q + 1..stages.len() {
+        offset -= stages[s - 1].bw_us;
+        ending_us = ending_us.max(stages[s].allreduce_us + offset);
+    }
+    ending_us = ending_us.max(0.0);
+
+    LatencyBreakdown {
+        pivot: q,
+        warmup_us,
+        steady_us,
+        drain_us,
+        ending_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn comp(fw: f64, bw: f64, ar: f64) -> StageLatency {
+        StageLatency {
+            fw_us: fw,
+            bw_us: bw,
+            allreduce_us: ar,
+        }
+    }
+
+    /// Single stage = data parallelism with gradient accumulation:
+    /// `L = M (F + B) + AR`.
+    #[test]
+    fn single_stage_is_gradient_accumulation() {
+        let l = pipeline_latency(&[comp(10.0, 20.0, 5.0)], 4);
+        assert_eq!(l.pivot, 0);
+        assert!((l.total_us() - (4.0 * 30.0 + 5.0)).abs() < 1e-9);
+    }
+
+    /// Uniform straight pipeline achieves the ideal 1F1B makespan
+    /// `(M + S - 1)(F + B)`.
+    #[test]
+    fn uniform_pipeline_matches_ideal_makespan() {
+        for s in 1..6usize {
+            for m in 1..10usize {
+                let stages: Vec<_> = (0..s).map(|_| comp(10.0, 20.0, 0.0)).collect();
+                let l = pipeline_latency(&stages, m);
+                let ideal = (m + s - 1) as f64 * 30.0;
+                assert!(
+                    (l.total_us() - ideal).abs() < 1e-9,
+                    "S={s} M={m}: {} vs {ideal}",
+                    l.total_us()
+                );
+            }
+        }
+    }
+
+    /// The pivot moves off the last stage when an earlier stage dominates.
+    #[test]
+    fn pivot_moves_to_dominant_stage() {
+        // Stage 0 is 10x heavier: it has the fewest bubbles.
+        let stages = [comp(100.0, 200.0, 0.0), comp(10.0, 20.0, 0.0)];
+        assert_eq!(pivot_stage(&stages, 8), 0);
+        // With one micro-batch there is no steady phase; pivot stays last.
+        assert_eq!(pivot_stage(&stages, 1), 1);
+    }
+
+    /// Heavier last stage keeps the pivot there.
+    #[test]
+    fn pivot_stays_on_heavy_last_stage() {
+        let stages = [comp(10.0, 20.0, 0.0), comp(100.0, 200.0, 0.0)];
+        assert_eq!(pivot_stage(&stages, 8), 1);
+    }
+
+    /// Latency with a mid-pipeline pivot counts the downstream round trip.
+    #[test]
+    fn mid_pipeline_pivot_drains_downstream() {
+        let stages = [comp(100.0, 200.0, 0.0), comp(10.0, 20.0, 0.0)];
+        let m = 4;
+        let l = pipeline_latency(&stages, m);
+        assert_eq!(l.pivot, 0);
+        // Tw = F0; Ts = 3*(F0+B0); drain = F1 + B1 + B0.
+        let expect = 100.0 + 3.0 * 300.0 + (10.0 + 20.0) + 200.0;
+        assert!((l.total_us() - expect).abs() < 1e-9, "{}", l.total_us());
+    }
+
+    /// AllReduce on the first stage pays the backward chain to reach it.
+    #[test]
+    fn ending_offsets_upstream_allreduce() {
+        let stages = [comp(10.0, 20.0, 50.0), comp(10.0, 20.0, 0.0)];
+        let l = pipeline_latency(&stages, 4);
+        assert_eq!(l.pivot, 1);
+        // Stage 0's last backward ends B0 after Q's: Te = 50 + 20.
+        assert!((l.ending_us - 70.0).abs() < 1e-9, "{}", l.ending_us);
+    }
+
+    /// Downstream AllReduce overlaps the backward chain (negative offset).
+    #[test]
+    fn ending_downstream_allreduce_overlaps() {
+        // Pivot lands on stage 0 (heavy); stage 1's AllReduce started B0
+        // earlier than Q's last backward and hides under it.
+        let stages = [comp(100.0, 200.0, 0.0), comp(10.0, 20.0, 150.0)];
+        let l = pipeline_latency(&stages, 8);
+        assert_eq!(l.pivot, 0);
+        // offset = -(B0) = -200; 150 - 200 < 0 -> clamped to 0.
+        assert_eq!(l.ending_us, 0.0);
+    }
+
+    /// Comm stages contribute bubbles but no AllReduce; the upstream
+    /// backward chain drains after the pivot's last backward.
+    #[test]
+    fn comm_stages_extend_warmup_and_drain() {
+        let stages = [
+            comp(10.0, 20.0, 0.0),
+            StageLatency::comm(5.0, 5.0),
+            comp(10.0, 20.0, 0.0),
+        ];
+        let l = pipeline_latency(&stages, 2);
+        // Q = 2; Tw = 10+5+10; Ts = 30; drain = B_Q = 20;
+        // Te = backward chain back to stage 0 = B_0 + B_comm = 25.
+        assert_eq!(l.pivot, 2);
+        assert!((l.ending_us - 25.0).abs() < 1e-9, "{}", l.ending_us);
+        assert!((l.total_us() - (25.0 + 30.0 + 20.0 + 25.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pipeline")]
+    fn empty_pipeline_panics() {
+        pipeline_latency(&[], 1);
+    }
+
+    proptest! {
+        /// More micro-batches never decreases latency, and latency is
+        /// always at least the pivot's serial work.
+        #[test]
+        fn latency_monotone_in_microbatches(
+            costs in proptest::collection::vec((1.0f64..100.0, 1.0f64..100.0, 0.0f64..50.0), 1..6),
+            m in 1usize..20,
+        ) {
+            let stages: Vec<_> = costs.iter().map(|&(f, b, a)| comp(f, b, a)).collect();
+            let l1 = pipeline_latency(&stages, m).total_us();
+            let l2 = pipeline_latency(&stages, m + 1).total_us();
+            prop_assert!(l2 >= l1 - 1e-9);
+            let q = pivot_stage(&stages, m);
+            let serial = m as f64 * (stages[q].fw_us + stages[q].bw_us);
+            prop_assert!(l1 + 1e-9 >= serial);
+        }
+
+        /// The total latency always covers every stage's full workload
+        /// (a stage cannot finish before doing M forwards and M backwards).
+        #[test]
+        fn latency_covers_every_stage_workload(
+            costs in proptest::collection::vec((1.0f64..100.0, 1.0f64..100.0), 1..6),
+            m in 1usize..20,
+        ) {
+            let stages: Vec<_> = costs.iter().map(|&(f, b)| comp(f, b, 0.0)).collect();
+            let total = pipeline_latency(&stages, m).total_us();
+            for st in &stages {
+                prop_assert!(total + 1e-9 >= m as f64 * (st.fw_us + st.bw_us));
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! PipeDream's planner (Harlap et al., SOSP'19), the comparator of
+//! Table VII / Fig. 13.
+//!
+//! PipeDream partitions the model to **balance the per-input work across
+//! all GPUs**: it minimizes the maximum stage time, where a stage
+//! replicated `r`-ways costs its compute divided by `r` plus the weight
+//! synchronization its (asynchronous) runtime pays every mini-batch.
+//! Stages receive contiguous device blocks in order (the hierarchical
+//! placement of the original paper collapsed onto one level, which on the
+//! homogeneous Table III clusters yields the same block structure).
+//!
+//! What it *does not* model — and what DAPPLE's planner exploits — is the
+//! synchronous pipeline objective: the bubble cost of deep pipelines, the
+//! end-of-iteration AllReduce serialization, and uneven fewer-stage splits
+//! (§IV-D). Evaluating its balanced plans under the synchronous cost model
+//! is exactly the paper's Table VII / Fig. 13 experiment.
+
+use crate::cost::CostModel;
+use dapple_core::{DappleError, DeviceId, Plan, Result, StagePlan};
+
+/// Plans with PipeDream's balanced-stage objective.
+///
+/// `sync_samples` is the number of samples between weight syncs of the
+/// async runtime (PipeDream syncs per mini-batch; the paper profiles at
+/// Table II's per-device batch), used to amortize the weight-sync cost
+/// into the per-sample stage time.
+#[allow(clippy::needless_range_loop)] // DP recurrences read clearest indexed
+pub fn plan(cm: &CostModel<'_>, sync_samples: f64) -> Result<Plan> {
+    let n = cm.profile.num_layers();
+    let g = cm.cluster.num_devices();
+    if n == 0 || g == 0 {
+        return Err(DappleError::InvalidConfig(
+            "pipedream planner needs layers and devices".into(),
+        ));
+    }
+
+    // Devices are handed out as contiguous blocks from id 0 upward; a
+    // stage's replica set is therefore determined by (devices used so far,
+    // replica count). block_cost is the per-sample stage time.
+    let block_cost = |range: std::ops::Range<usize>, first_dev: usize, r: usize| -> f64 {
+        let compute = (cm.fw_us(range.clone(), 1.0) + cm.bw_us(range.clone(), 1.0)) / r as f64;
+        let devices: Vec<DeviceId> = (first_dev..first_dev + r).map(DeviceId::from).collect();
+        let sync = dapple_collectives::allreduce_us(cm.param_bytes(range), &devices, cm.cluster);
+        compute + sync / sync_samples
+    };
+
+    // A[j][m] = (min max-stage-cost planning layers 0..j on devices 0..m,
+    //            backpointer (j', m'))
+    let mut a = vec![vec![(f64::INFINITY, (0usize, 0usize)); g + 1]; n + 1];
+    a[0][0].0 = 0.0;
+    for j in 1..=n {
+        for m in 1..=g {
+            // Either one stage 0..j replicated on all m devices...
+            let single = block_cost(0..j, 0, m);
+            let mut best = (single, (0usize, 0usize));
+            // ...or a split: prefix 0..j2 on m2 devices, new stage j2..j on
+            // the remaining m - m2.
+            for j2 in 1..j {
+                for m2 in 1..m {
+                    let (prev, _) = a[j2][m2];
+                    if !prev.is_finite() {
+                        continue;
+                    }
+                    let stage = block_cost(j2..j, m2, m - m2);
+                    let cost = prev.max(stage);
+                    if cost < best.0 {
+                        best = (cost, (j2, m2));
+                    }
+                }
+            }
+            a[j][m] = best;
+        }
+    }
+
+    // Recover stages by walking backpointers from (n, g).
+    let mut bounds = Vec::new();
+    let (mut j, mut m) = (n, g);
+    loop {
+        let (_, (j2, m2)) = a[j][m];
+        bounds.push((j2..j, m2..m));
+        if j2 == 0 {
+            break;
+        }
+        j = j2;
+        m = m2;
+    }
+    bounds.reverse();
+    let stages = bounds
+        .into_iter()
+        .map(|(layers, devs)| StagePlan::new(layers, devs.map(DeviceId::from).collect()))
+        .collect();
+    let plan = Plan::new(stages);
+    plan.validate(n, g)?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapple_cluster::Cluster;
+    use dapple_core::Bytes;
+    use dapple_model::{synthetic, OptimizerKind};
+    use dapple_profiler::{MemoryModel, ModelProfile};
+
+    fn cm<'a>(p: &'a ModelProfile, c: &'a Cluster, gbs: usize) -> CostModel<'a> {
+        CostModel::new(p, c, MemoryModel::new(OptimizerKind::Adam), gbs)
+    }
+
+    /// With tiny weights PipeDream pursues pure balance: uniform layers on
+    /// matching device counts split evenly with heavy replication.
+    #[test]
+    fn balances_uniform_layers() {
+        let cluster = Cluster::config_a(1);
+        let g = synthetic::uniform(8, 100.0, Bytes::mb(1.0), Bytes::mb(1.0));
+        let p = ModelProfile::profile(&g, &cluster.device);
+        let model = cm(&p, &cluster, 64);
+        let plan = plan(&model, 64.0).unwrap();
+        plan.validate(8, 8).unwrap();
+        // Per-sample max-stage cost should be near the ideal total/8.
+        let total = model.fw_us(0..8, 1.0) + model.bw_us(0..8, 1.0);
+        let worst = plan
+            .stages
+            .iter()
+            .map(|s| {
+                (model.fw_us(s.layers.clone(), 1.0) + model.bw_us(s.layers.clone(), 1.0))
+                    / s.replication() as f64
+            })
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst <= total / 8.0 * 1.6,
+            "worst {worst} vs ideal {}",
+            total / 8.0
+        );
+    }
+
+    /// Heavy uniform weights + frequent syncs push PipeDream to straight
+    /// pipelines (replication pays weight-sync) — the Table VII XLNet /
+    /// AmoebaNet behaviour.
+    #[test]
+    fn heavy_weights_yield_straight() {
+        let cluster = Cluster::config_b(4);
+        let g = synthetic::uniform(8, 100.0, Bytes::mb(250.0), Bytes::mb(1.0));
+        let p = ModelProfile::profile(&g, &cluster.device);
+        let model = cm(&p, &cluster, 32);
+        let plan = plan(&model, 1.0).unwrap();
+        assert_eq!(plan.kind(), dapple_core::PlanKind::Straight, "{plan}");
+    }
+
+    /// Stages occupy contiguous ascending device blocks.
+    #[test]
+    fn device_blocks_are_contiguous() {
+        let cluster = Cluster::config_a(2);
+        let g = synthetic::ramped(12, 100.0, 0.4, Bytes::mb(40.0));
+        let p = ModelProfile::profile(&g, &cluster.device);
+        let model = cm(&p, &cluster, 128);
+        let plan = plan(&model, 16.0).unwrap();
+        let mut next = 0u32;
+        for st in &plan.stages {
+            for d in &st.devices {
+                assert_eq!(d.0, next, "{plan}");
+                next += 1;
+            }
+        }
+        assert_eq!(next as usize, 16);
+    }
+}

@@ -1,0 +1,87 @@
+//! Calibration diagnostics for the DP estimates and search behaviour.
+
+use dapple_cluster::Cluster;
+use dapple_core::StagePlan;
+use dapple_model::zoo;
+use dapple_planner::{dp, CostModel};
+use dapple_profiler::{MemoryModel, ModelProfile};
+
+#[test]
+fn bert_config_b_straight_vs_planner() {
+    let spec = zoo::bert48();
+    let cluster = Cluster::config_b(16);
+    let p = ModelProfile::profile(&spec.graph, &cluster.device);
+    let cm = CostModel::new(&p, &cluster, MemoryModel::new(spec.optimizer), 64);
+    // Straight: 16 stages x 3 layers.
+    let stages: Vec<StagePlan> = (0..16)
+        .map(|i| StagePlan::new(i * 3..(i + 1) * 3, vec![dapple_core::DeviceId(i as u32)]))
+        .collect();
+    let ev = cm.evaluate(&stages, false);
+    println!(
+        "straight16: L={:.0}ms M={} feasible={} (warmup {:.0} steady {:.0} drain {:.0} ending {:.0})",
+        ev.breakdown.total_us() / 1e3,
+        ev.micro_batches,
+        ev.feasible,
+        ev.breakdown.warmup_us / 1e3,
+        ev.breakdown.steady_us / 1e3,
+        ev.breakdown.drain_us / 1e3,
+        ev.breakdown.ending_us / 1e3,
+    );
+    for m in [4usize, 8, 16, 32, 64] {
+        let lat = cm.stage_latencies(&stages, m);
+        let l = dapple_planner::pipeline_latency(&lat, m);
+        println!("  M={m}: L={:.0}ms", l.total_us() / 1e3);
+    }
+}
+
+#[test]
+fn vgg_config_c_dp_estimates() {
+    let spec = zoo::vgg19();
+    for cluster in [Cluster::config_b(16), Cluster::config_c(16)] {
+        let p = ModelProfile::profile(&spec.graph, &cluster.device);
+        let cm = CostModel::new(&p, &cluster, MemoryModel::new(spec.optimizer), 2048);
+        let d = cluster.all_devices();
+        let no = dp::dp_no_overlap(&cm, &d);
+        let ov = dp::dp_overlap(&cm, &d);
+        let n = p.num_layers();
+        let ar = dapple_collectives::allreduce_us(cm.param_bytes(0..n), &d, &cluster);
+        let dp_plan = vec![StagePlan::new(0..n, d.clone())];
+        let ev = cm.evaluate(&dp_plan, false);
+        println!(
+            "{}: no={:.0}ms ov={:.0}ms ar={:.0}ms eval={:.0}ms M_eval={} M_dp={} feasible={}",
+            cluster.name,
+            no.latency_us / 1e3,
+            ov.latency_us / 1e3,
+            ar / 1e3,
+            ev.breakdown.total_us() / 1e3,
+            ev.micro_batches,
+            no.micro_batches,
+            ev.feasible
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full planner run is slow unoptimized; run with --release"
+)]
+fn bert_config_b_planner_debug() {
+    let spec = zoo::bert48();
+    let cluster = Cluster::config_b(16);
+    let p = ModelProfile::profile(&spec.graph, &cluster.device);
+    let planner = dapple_planner::DapplePlanner::new(
+        &p,
+        &cluster,
+        MemoryModel::new(spec.optimizer),
+        dapple_planner::PlannerConfig::new(64),
+    );
+    let s = planner.plan().unwrap();
+    println!(
+        "planner: {} split {} L={:.0}ms M={}",
+        s.plan.notation(),
+        s.plan.split_notation(),
+        s.latency_us / 1e3,
+        s.micro_batches
+    );
+}

@@ -1,0 +1,114 @@
+//! Property-based fuzzing of the planner: for arbitrary small models and
+//! cluster shapes, the returned plan must always be structurally valid,
+//! cover every device, respect memory, and carry a finite latency.
+
+use dapple_cluster::{Cluster, DeviceSpec, Interconnect};
+use dapple_model::{synthetic, OptimizerKind};
+use dapple_planner::{DapplePlanner, PlannerConfig};
+use dapple_profiler::{MemoryModel, ModelProfile};
+use proptest::prelude::*;
+
+fn cluster_strategy() -> impl Strategy<Value = Cluster> {
+    // 1..=3 machines with 1..=3 devices each, random link classes.
+    (
+        proptest::collection::vec(1usize..=3, 1..=3),
+        prop_oneof![Just(true), Just(false)],
+    )
+        .prop_map(|(machines, fast)| {
+            let inter = if fast {
+                Interconnect::ethernet_25gbps()
+            } else {
+                Interconnect::ethernet_10gbps()
+            };
+            Cluster::new(
+                "fuzz",
+                machines,
+                DeviceSpec::v100(),
+                Interconnect::nvlink(),
+                inter,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn planner_always_returns_valid_plans(
+        cluster in cluster_strategy(),
+        layers in 2usize..10,
+        fw_us in 20.0f64..2000.0,
+        param_mb in 0.5f64..400.0,
+        act_mb in 0.1f64..8.0,
+        gbs_pow in 3u32..8,
+    ) {
+        let g = synthetic::uniform(
+            layers,
+            fw_us,
+            dapple_core::Bytes::mb(param_mb),
+            dapple_core::Bytes::mb(act_mb),
+        );
+        let profile = ModelProfile::profile(&g, &cluster.device);
+        let gbs = 1usize << gbs_pow;
+        let planner = DapplePlanner::new(
+            &profile,
+            &cluster,
+            MemoryModel::new(OptimizerKind::Adam),
+            PlannerConfig::new(gbs),
+        );
+        let s = planner.plan().expect("small models always plannable");
+        // Structural validity and full device coverage.
+        s.plan.validate(layers, cluster.num_devices()).unwrap();
+        prop_assert_eq!(s.plan.num_devices(), cluster.num_devices());
+        // Sane metrics.
+        prop_assert!(s.latency_us.is_finite() && s.latency_us > 0.0);
+        prop_assert!(s.micro_batches >= 1 && s.micro_batches <= gbs);
+        prop_assert!(s.acr >= 0.0);
+        // The chosen plan fits memory at its chosen micro-batching.
+        planner
+            .cost_model()
+            .check_memory(&s.plan.stages, s.micro_batches, false)
+            .unwrap();
+        // And it is at least as good as plain unoverlapped DP when DP fits.
+        let all = cluster.all_devices();
+        let dp_plan = vec![dapple_core::StagePlan::new(0..layers, all.clone())];
+        if planner.cost_model().evaluate(&dp_plan, false).feasible {
+            let dp = dapple_planner::dp::dp_no_overlap(planner.cost_model(), &all);
+            prop_assert!(
+                s.latency_us <= dp.latency_us * 1.0001,
+                "plan {} slower than plain DP ({} vs {})",
+                s.plan,
+                s.latency_us,
+                dp.latency_us
+            );
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_bandwidth(
+        layers in 2usize..8,
+        fw_us in 50.0f64..500.0,
+        param_mb in 10.0f64..300.0,
+    ) {
+        // The same model must never plan slower on a faster network.
+        let g = synthetic::uniform(
+            layers,
+            fw_us,
+            dapple_core::Bytes::mb(param_mb),
+            dapple_core::Bytes::mb(1.0),
+        );
+        let fast = Cluster::config_b(4);
+        let slow = Cluster::config_c(4);
+        let pf = ModelProfile::profile(&g, &fast.device);
+        let mm = MemoryModel::new(OptimizerKind::Adam);
+        let lf = DapplePlanner::new(&pf, &fast, mm, PlannerConfig::new(32))
+            .plan()
+            .unwrap()
+            .latency_us;
+        let ls = DapplePlanner::new(&pf, &slow, mm, PlannerConfig::new(32))
+            .plan()
+            .unwrap()
+            .latency_us;
+        prop_assert!(lf <= ls * 1.0001, "fast {lf} vs slow {ls}");
+    }
+}

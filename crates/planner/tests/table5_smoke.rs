@@ -1,0 +1,56 @@
+//! Calibration diagnostic: run the planner over the full zoo x Table III configs and
+//! print the resulting plans next to the paper's Table V. Used during
+//! calibration (`cargo test -p dapple-planner --release table5 -- --nocapture`);
+//! the hard qualitative assertions live in the workspace integration tests.
+
+use dapple_cluster::Cluster;
+use dapple_model::zoo;
+use dapple_planner::{DapplePlanner, PlannerConfig};
+use dapple_profiler::{MemoryModel, ModelProfile};
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-zoo planning is slow unoptimized; run with --release"
+)]
+fn print_table5_plans() {
+    let configs: Vec<(&str, Cluster)> = vec![
+        ("A 2x8", Cluster::config_a(2)),
+        ("B 16x1", Cluster::config_b(16)),
+        ("C 16x1", Cluster::config_c(16)),
+    ];
+    println!(
+        "{:<16} {:>6} {:<8} {:<12} {:<10} {:>6} {:>8} {:>10}",
+        "model", "GBS", "config", "plan", "split", "ACR", "M", "latency"
+    );
+    for spec in zoo::table_v_models() {
+        for (cname, cluster) in &configs {
+            let profile = ModelProfile::profile(&spec.graph, &cluster.device);
+            let planner = DapplePlanner::new(
+                &profile,
+                cluster,
+                MemoryModel::new(spec.optimizer),
+                PlannerConfig::new(spec.global_batch),
+            );
+            match planner.plan() {
+                Ok(s) => println!(
+                    "{:<16} {:>6} {:<8} {:<12} {:<10} {:>6.2} {:>8} {:>10.1}ms",
+                    spec.name(),
+                    spec.global_batch,
+                    cname,
+                    s.plan.notation(),
+                    s.plan.split_notation(),
+                    s.acr,
+                    s.micro_batches,
+                    s.latency_us / 1e3,
+                ),
+                Err(e) => println!(
+                    "{:<16} {:>6} {:<8} ERROR: {e}",
+                    spec.name(),
+                    spec.global_batch,
+                    cname
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Device memory model.
+//!
+//! Memory on a training device breaks down into:
+//!
+//! * **model state** — weights, gradients and optimizer moments:
+//!   `params x optimizer.bytes_per_param()` (16 B/param for Adam, the
+//!   figure Table VIII quotes);
+//! * **activations** — per in-flight micro-batch, the stage's stored
+//!   activations; with re-computation only the stage-boundary activation is
+//!   retained per micro-batch and the full set is re-materialized
+//!   transiently for the one micro-batch currently in backward (§III-A);
+//! * **workspace** — framework/runtime overhead (cuDNN workspaces, comm
+//!   buffers), a fixed constant.
+
+use crate::profile::ModelProfile;
+use dapple_cluster::DeviceSpec;
+use dapple_core::{Bytes, DappleError, Result};
+use dapple_model::OptimizerKind;
+use std::ops::Range;
+
+/// Memory accounting for pipeline stages on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Optimizer determining per-parameter state bytes.
+    pub optimizer: OptimizerKind,
+    /// Fixed runtime workspace reserved on every device.
+    pub workspace: Bytes,
+}
+
+impl MemoryModel {
+    /// Creates a model with the default 0.75 GiB workspace.
+    pub fn new(optimizer: OptimizerKind) -> Self {
+        MemoryModel {
+            optimizer,
+            workspace: Bytes::gib(0.75),
+        }
+    }
+
+    /// Model-state bytes for the layers in `range` (weights + grads +
+    /// optimizer moments). Every replica holds the full stage state.
+    pub fn state_bytes(&self, profile: &ModelProfile, range: Range<usize>) -> Bytes {
+        let params = profile.param_bytes_in(range).0 / 4; // fp32 params
+        Bytes(params * self.optimizer.bytes_per_param())
+    }
+
+    /// Peak memory of one stage replica.
+    ///
+    /// * `samples_per_replica` — micro-batch slice this replica executes;
+    /// * `live_microbatches` — micro-batches whose activations are alive
+    ///   simultaneously (the schedule's `K_i`, or `M` for GPipe);
+    /// * `recompute` — re-computation stores only the boundary input per
+    ///   micro-batch, plus one transient full activation set.
+    pub fn stage_peak_bytes(
+        &self,
+        profile: &ModelProfile,
+        range: Range<usize>,
+        samples_per_replica: f64,
+        live_microbatches: usize,
+        recompute: bool,
+    ) -> Bytes {
+        let state = self.state_bytes(profile, range.clone());
+        let act = if recompute {
+            let boundary = profile.boundary_act(range.start, samples_per_replica);
+            let transient = profile.stored_act_in(range.clone(), samples_per_replica);
+            boundary.scale(live_microbatches as f64) + transient
+        } else {
+            profile
+                .stored_act_in(range.clone(), samples_per_replica)
+                .scale(live_microbatches as f64)
+        };
+        state + act + self.workspace
+    }
+
+    /// Checks a stage fits the device, with a descriptive error otherwise.
+    pub fn check_fits(
+        &self,
+        profile: &ModelProfile,
+        range: Range<usize>,
+        samples_per_replica: f64,
+        live_microbatches: usize,
+        recompute: bool,
+        device: &DeviceSpec,
+    ) -> Result<Bytes> {
+        let need = self.stage_peak_bytes(
+            profile,
+            range.clone(),
+            samples_per_replica,
+            live_microbatches,
+            recompute,
+        );
+        if need > device.mem {
+            Err(DappleError::OutOfMemory(format!(
+                "layers {}..{} need {} (device has {}) at {} samples x {} live micro-batches",
+                range.start, range.end, need, device.mem, samples_per_replica, live_microbatches
+            )))
+        } else {
+            Ok(need)
+        }
+    }
+
+    /// Maximum number of micro-batches whose activations can live
+    /// concurrently on the device — the paper's `D` (§V-C).
+    pub fn max_live_microbatches(
+        &self,
+        profile: &ModelProfile,
+        range: Range<usize>,
+        samples_per_replica: f64,
+        recompute: bool,
+        device: &DeviceSpec,
+    ) -> usize {
+        let state = self.state_bytes(profile, range.clone());
+        let fixed = state + self.workspace;
+        let budget = device.mem.saturating_sub(fixed);
+        let per_mb = if recompute {
+            profile.boundary_act(range.start, samples_per_replica)
+        } else {
+            profile.stored_act_in(range.clone(), samples_per_replica)
+        };
+        if per_mb == Bytes::ZERO {
+            return usize::MAX;
+        }
+        let mut d = (budget.as_f64() / per_mb.as_f64()).floor() as usize;
+        if recompute && d > 0 {
+            // One transient full activation set must also fit.
+            let transient = profile.stored_act_in(range, samples_per_replica);
+            while d > 0 && per_mb.scale(d as f64) + transient > budget {
+                d -= 1;
+            }
+        }
+        d
+    }
+
+    /// Memory cost of plain single-device training at `batch` samples —
+    /// Table II's "(batch, Memory Cost)" column.
+    pub fn full_model_bytes(&self, profile: &ModelProfile, batch: usize) -> Bytes {
+        let n = profile.num_layers();
+        self.stage_peak_bytes(profile, 0..n, batch as f64, 1, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapple_cluster::DeviceSpec;
+    use dapple_model::{zoo, OptimizerKind};
+
+    fn profile_of(spec: &dapple_model::ModelSpec) -> ModelProfile {
+        ModelProfile::profile(&spec.graph, &DeviceSpec::v100())
+    }
+
+    /// Table II memory costs at the profile batch size, tolerance 30%
+    /// (the paper's column mixes frameworks' own accounting).
+    #[test]
+    fn table2_memory_costs_are_in_range() {
+        let cases = [
+            (zoo::bert48(), 11.4),
+            (zoo::xlnet36(), 12.0),
+            (zoo::amoebanet36(), 20.0),
+            (zoo::vgg19(), 5.6),
+        ];
+        for (spec, want_gb) in cases {
+            let p = profile_of(&spec);
+            let mm = MemoryModel::new(spec.optimizer);
+            let got_gb = mm.full_model_bytes(&p, spec.profile_batch).as_f64() / 1e9;
+            let rel = (got_gb - want_gb).abs() / want_gb;
+            assert!(
+                rel < 0.30,
+                "{}: {got_gb:.1} GB vs Table II {want_gb} GB",
+                spec.name()
+            );
+        }
+    }
+
+    /// AmoebaNet-36 cannot run DP even at batch 1 on a 16 GB V100
+    /// (Table II / §VI-B).
+    #[test]
+    fn amoebanet_dp_is_infeasible() {
+        let spec = zoo::amoebanet36();
+        let p = profile_of(&spec);
+        let mm = MemoryModel::new(spec.optimizer);
+        let res = mm.check_fits(&p, 0..36, 1.0, 1, false, &DeviceSpec::v100());
+        assert!(matches!(res, Err(DappleError::OutOfMemory(_))), "{res:?}");
+    }
+
+    /// BERT-48 fits natively on one device (Table VIII "Native-1").
+    #[test]
+    fn bert48_fits_one_device_with_recompute() {
+        let spec = zoo::bert48();
+        let p = profile_of(&spec);
+        let mm = MemoryModel::new(OptimizerKind::Adam);
+        // Model state alone is ~10.2 GB (Table VIII).
+        let state = mm.state_bytes(&p, 0..48);
+        assert!((state.as_f64() / 1e9 - 10.2).abs() < 0.6, "{state}");
+        mm.check_fits(&p, 0..48, 2.0, 1, true, &DeviceSpec::v100())
+            .expect("BERT-48 must fit with re-computation at batch 2");
+    }
+
+    #[test]
+    fn recompute_reduces_peak_memory() {
+        let spec = zoo::bert48();
+        let p = profile_of(&spec);
+        let mm = MemoryModel::new(OptimizerKind::Adam);
+        let plain = mm.stage_peak_bytes(&p, 0..24, 2.0, 8, false);
+        let rc = mm.stage_peak_bytes(&p, 0..24, 2.0, 8, true);
+        assert!(rc < plain, "rc {rc} vs plain {plain}");
+    }
+
+    #[test]
+    fn max_live_microbatches_monotone_in_memory() {
+        let spec = zoo::bert48();
+        let p = profile_of(&spec);
+        let mm = MemoryModel::new(OptimizerKind::Adam);
+        let small = DeviceSpec {
+            flops: 1e13,
+            mem: Bytes::gib(16.0),
+            launch_us: 10.0,
+        };
+        let big = DeviceSpec {
+            flops: 1e13,
+            mem: Bytes::gib(32.0),
+            launch_us: 10.0,
+        };
+        let d_small = mm.max_live_microbatches(&p, 0..24, 2.0, false, &small);
+        let d_big = mm.max_live_microbatches(&p, 0..24, 2.0, false, &big);
+        assert!(d_big > d_small);
+        // Re-computation always allows at least as many in-flight batches.
+        let d_rc = mm.max_live_microbatches(&p, 0..24, 2.0, true, &small);
+        assert!(d_rc >= d_small);
+    }
+
+    #[test]
+    fn stage_memory_splits_across_pipeline() {
+        let spec = zoo::bert48();
+        let p = profile_of(&spec);
+        let mm = MemoryModel::new(OptimizerKind::Adam);
+        let full = mm.state_bytes(&p, 0..48);
+        let half1 = mm.state_bytes(&p, 0..24);
+        let half2 = mm.state_bytes(&p, 24..48);
+        assert_eq!(half1 + half2, full);
+    }
+}

@@ -1,0 +1,195 @@
+//! Asynchronous (PipeDream-style) pipeline execution, for the sync/async
+//! comparison that motivates DAPPLE (§I–II).
+//!
+//! PipeDream keeps the pipeline continuously full: micro-batches are
+//! injected back-to-back with no end-of-iteration synchronization, weights
+//! update after every backward, and each stage *stashes* one weight
+//! version per in-flight micro-batch so a micro-batch's backward uses the
+//! same weights as its forward. The price DAPPLE avoids (§I):
+//!
+//! * **memory** — stage `i` of `S` holds `S - i` weight versions;
+//! * **staleness** — gradients are computed on weights `S - i` updates
+//!   old, which is why "async training is not a common practice in
+//!   important industry application domains due to convergence concerns".
+//!
+//! This module estimates steady-state async throughput (bottleneck-stage
+//! bound, no bubbles) and per-stage peak memory with weight stashing, so
+//! the trade-off can be quantified against the synchronous simulator.
+
+use dapple_core::{Bytes, Plan};
+use dapple_planner::CostModel;
+
+/// Async execution estimate for one plan.
+#[derive(Debug, Clone)]
+pub struct AsyncEstimate {
+    /// Steady-state throughput, samples/second.
+    pub throughput: f64,
+    /// Time to drain `m` micro-batches from a cold start, µs.
+    pub makespan_us: f64,
+    /// Per-stage peak memory of one replica, including stashed weights.
+    pub peak_mem: Vec<Bytes>,
+    /// Per-stage number of weight versions kept (`S - i`).
+    pub weight_versions: Vec<usize>,
+    /// Per-stage gradient staleness in updates (`S - i - 1` for the 1F1B
+    /// async steady state).
+    pub staleness: Vec<usize>,
+}
+
+impl AsyncEstimate {
+    /// Largest per-stage peak.
+    pub fn peak_memory_max(&self) -> Bytes {
+        self.peak_mem.iter().copied().max().unwrap_or(Bytes::ZERO)
+    }
+}
+
+/// Estimates PipeDream-style asynchronous execution of `plan` over `m`
+/// micro-batches.
+///
+/// Steady state: every stage alternates forward/backward with no sync
+/// point, so the iteration rate is bound by the slowest stage's
+/// `F_s + B_s` (communication pipelines alongside compute in PipeDream's
+/// runtime and is counted when it is the bottleneck).
+pub fn estimate(cost: &CostModel<'_>, plan: &Plan, m: usize) -> AsyncEstimate {
+    assert!(m >= 1);
+    let lat = cost.stage_latencies(&plan.stages, m);
+    let s = plan.num_stages();
+    // Bottleneck over compute AND comm stages (odd indices are comm).
+    let bottleneck = lat.iter().map(|l| l.fw_us + l.bw_us).fold(0.0f64, f64::max);
+    // Fill: one forward wave through the pipeline.
+    let fill: f64 = lat.iter().map(|l| l.fw_us).sum();
+    let makespan_us = fill + m as f64 * bottleneck;
+    let mb_samples = cost.global_batch as f64 / m as f64;
+    let throughput = mb_samples / bottleneck * 1e6;
+
+    let mut peak_mem = Vec::with_capacity(s);
+    let mut weight_versions = Vec::with_capacity(s);
+    let mut staleness = Vec::with_capacity(s);
+    for (i, st) in plan.stages.iter().enumerate() {
+        let versions = s - i;
+        let slice = mb_samples / st.replication() as f64;
+        let state = cost.memory.state_bytes(cost.profile, st.layers.clone());
+        // Weight stashing: `versions - 1` extra copies of the weights
+        // (fp32 weights only, not optimizer state) on top of full state.
+        let weights = cost.profile.param_bytes_in(st.layers.clone());
+        let stash = weights.scale((versions - 1) as f64);
+        // In-flight activations: `versions` micro-batches deep.
+        let acts = cost
+            .profile
+            .stored_act_in(st.layers.clone(), slice)
+            .scale(versions as f64);
+        peak_mem.push(state + stash + acts + cost.memory.workspace);
+        weight_versions.push(versions);
+        staleness.push(versions - 1);
+    }
+    AsyncEstimate {
+        throughput,
+        makespan_us,
+        peak_mem,
+        weight_versions,
+        staleness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KPolicy, PipelineSim, Schedule, SimConfig};
+    use dapple_cluster::Cluster;
+    use dapple_core::{DeviceId, StagePlan};
+    use dapple_model::{synthetic, OptimizerKind};
+    use dapple_profiler::{MemoryModel, ModelProfile};
+
+    fn fixture() -> (Cluster, ModelProfile) {
+        let cluster = Cluster::config_b(4);
+        let g = synthetic::uniform(
+            8,
+            200.0,
+            dapple_core::Bytes::mb(40.0),
+            dapple_core::Bytes::mb(1.0),
+        );
+        let p = ModelProfile::profile(&g, &cluster.device);
+        (cluster, p)
+    }
+
+    fn straight(stages: usize, per: usize) -> Plan {
+        Plan::new(
+            (0..stages)
+                .map(|i| StagePlan::new(i * per..(i + 1) * per, vec![DeviceId(i as u32)]))
+                .collect(),
+        )
+    }
+
+    /// Async has no sync bubbles: throughput at least matches the
+    /// synchronous simulator's, and strictly beats it at small M where
+    /// sync pays warmup/drain/AllReduce every iteration.
+    #[test]
+    fn async_throughput_dominates_sync() {
+        let (cluster, p) = fixture();
+        let mm = MemoryModel::new(OptimizerKind::Adam);
+        let cm = CostModel::new(&p, &cluster, mm, 32);
+        let plan = straight(4, 2);
+        for m in [4usize, 8, 32] {
+            let sync = PipelineSim::new(&cm, &plan).run(SimConfig {
+                micro_batches: m,
+                schedule: Schedule::Dapple(KPolicy::PB),
+                recompute: false,
+            });
+            let asy = estimate(&cm, &plan, m);
+            assert!(
+                asy.throughput >= sync.throughput * 0.999,
+                "M={m}: async {} vs sync {}",
+                asy.throughput,
+                sync.throughput
+            );
+        }
+        let sync_small = PipelineSim::new(&cm, &plan).run(SimConfig {
+            micro_batches: 4,
+            schedule: Schedule::Dapple(KPolicy::PB),
+            recompute: false,
+        });
+        let asy_small = estimate(&cm, &plan, 4);
+        assert!(asy_small.throughput > 1.1 * sync_small.throughput);
+    }
+
+    /// Weight stashing: earlier stages hold more versions and more memory
+    /// than under the synchronous schedule.
+    #[test]
+    fn weight_stashing_memory_and_staleness() {
+        let (cluster, p) = fixture();
+        let mm = MemoryModel::new(OptimizerKind::Adam);
+        let cm = CostModel::new(&p, &cluster, mm, 32);
+        let plan = straight(4, 2);
+        let asy = estimate(&cm, &plan, 8);
+        assert_eq!(asy.weight_versions, vec![4, 3, 2, 1]);
+        assert_eq!(asy.staleness, vec![3, 2, 1, 0]);
+        // Memory decreases toward the back of the pipeline.
+        for w in asy.peak_mem.windows(2) {
+            assert!(w[0] > w[1], "{:?}", asy.peak_mem);
+        }
+        // And stage 0 pays more than the sync schedule's peak.
+        let sync = PipelineSim::new(&cm, &plan).run(SimConfig {
+            micro_batches: 8,
+            schedule: Schedule::Dapple(KPolicy::PA),
+            recompute: false,
+        });
+        assert!(
+            asy.peak_mem[0] > sync.peak_mem[0],
+            "async stage0 {} vs sync {}",
+            asy.peak_mem[0],
+            sync.peak_mem[0]
+        );
+    }
+
+    /// Single-stage async degenerates to plain sequential training:
+    /// one weight version, no staleness.
+    #[test]
+    fn single_stage_async_is_sequential() {
+        let (cluster, p) = fixture();
+        let mm = MemoryModel::new(OptimizerKind::Adam);
+        let cm = CostModel::new(&p, &cluster, mm, 16);
+        let plan = Plan::new(vec![StagePlan::new(0..8, vec![DeviceId(0)])]);
+        let asy = estimate(&cm, &plan, 4);
+        assert_eq!(asy.weight_versions, vec![1]);
+        assert_eq!(asy.staleness, vec![0]);
+    }
+}

@@ -1,0 +1,554 @@
+//! The discrete-event pipeline executor.
+
+use crate::memory::StageMemory;
+use crate::schedule::{stage_order, Schedule, Step};
+use dapple_core::{Bytes, Plan};
+use dapple_planner::CostModel;
+
+/// Kind of a simulated task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Forward compute on a stage.
+    Fw,
+    /// Backward compute on a stage (includes re-materialization time when
+    /// re-computation is on).
+    Bw,
+    /// Forward activation transfer leaving a boundary.
+    CommF,
+    /// Backward activation-gradient transfer entering a boundary.
+    CommB,
+    /// End-of-iteration gradient AllReduce of a replicated stage.
+    AllReduce,
+}
+
+/// One executed task, for timelines and assertions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRecord {
+    /// Compute-stage index for `Fw`/`Bw`/`AllReduce`; boundary index for
+    /// `CommF`/`CommB` (boundary `b` sits between stages `b` and `b+1`).
+    pub stage: usize,
+    /// Task kind.
+    pub kind: TaskKind,
+    /// Micro-batch index (0 for `AllReduce`).
+    pub micro: usize,
+    /// Start time, µs.
+    pub start_us: f64,
+    /// End time, µs.
+    pub end_us: f64,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Number of micro-batches `M` per iteration.
+    pub micro_batches: usize,
+    /// Pipeline schedule.
+    pub schedule: Schedule,
+    /// Whether activations are re-computed during backward (§III-A).
+    pub recompute: bool,
+}
+
+/// Results of one simulated training iteration.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// End-to-end iteration latency (including gradient sync), µs.
+    pub makespan_us: f64,
+    /// Samples per second at the configured global batch.
+    pub throughput: f64,
+    /// All executed tasks.
+    pub tasks: Vec<TaskRecord>,
+    /// Per-stage compute busy time, µs.
+    pub busy_us: Vec<f64>,
+    /// Per-stage peak memory of one replica.
+    pub peak_mem: Vec<Bytes>,
+    /// Per-stage memory time series `(time_us, bytes)` of one replica.
+    pub mem_series: Vec<Vec<(f64, Bytes)>>,
+    /// True when some stage's peak exceeds device memory.
+    pub oom: bool,
+    /// Device memory capacity the run was checked against.
+    pub device_mem: Bytes,
+}
+
+impl SimResult {
+    /// Mean compute utilization across stages (busy / makespan) — the
+    /// "average GPU utilization of all devices" of §II-A.
+    pub fn utilization(&self) -> f64 {
+        let mean_busy: f64 = self.busy_us.iter().sum::<f64>() / self.busy_us.len() as f64;
+        mean_busy / self.makespan_us
+    }
+
+    /// Bubble fraction: `1 - utilization()`.
+    pub fn bubble_ratio(&self) -> f64 {
+        1.0 - self.utilization()
+    }
+
+    /// Largest per-stage peak memory.
+    pub fn peak_memory_max(&self) -> Bytes {
+        self.peak_mem.iter().copied().max().unwrap_or(Bytes::ZERO)
+    }
+
+    /// Average of per-stage peak memory — Table VI's "Average Peak Memory".
+    pub fn peak_memory_avg(&self) -> Bytes {
+        if self.peak_mem.is_empty() {
+            return Bytes::ZERO;
+        }
+        let total: u64 = self.peak_mem.iter().map(|b| b.0).sum();
+        Bytes(total / self.peak_mem.len() as u64)
+    }
+}
+
+/// The pipeline simulator: a plan bound to a cost model.
+pub struct PipelineSim<'a> {
+    cost: &'a CostModel<'a>,
+    plan: &'a Plan,
+}
+
+impl<'a> PipelineSim<'a> {
+    /// Binds a plan to a cost model (which carries profile, cluster,
+    /// memory model and global batch size).
+    pub fn new(cost: &'a CostModel<'a>, plan: &'a Plan) -> Self {
+        PipelineSim { cost, plan }
+    }
+
+    /// Runs one training iteration under `cfg`.
+    pub fn run(&self, cfg: SimConfig) -> SimResult {
+        let s = self.plan.num_stages();
+        let m = cfg.micro_batches;
+        assert!(m >= 1, "need at least one micro-batch");
+        let lat = self.cost.stage_latencies(&self.plan.stages, m);
+        let mb_samples = self.cost.global_batch as f64 / m as f64;
+
+        // Per-stage step orders. D (max in-flight micro-batches) comes from
+        // the memory model; GPipe ignores it by construction.
+        let device = &self.cost.cluster.device;
+        let orders: Vec<Vec<Step>> = (0..s)
+            .map(|i| {
+                let st = &self.plan.stages[i];
+                let slice = mb_samples / st.replication() as f64;
+                let d = self.cost.memory.max_live_microbatches(
+                    self.cost.profile,
+                    st.layers.clone(),
+                    slice,
+                    cfg.recompute,
+                    device,
+                );
+                stage_order(cfg.schedule, i, s, m, d.max(1))
+            })
+            .collect();
+
+        // Completion times of dependencies.
+        let mut fw_done = vec![vec![f64::NAN; m]; s]; // compute done
+        let mut commf_done = vec![vec![f64::NAN; m]; s.saturating_sub(1)];
+        let mut bw_done = vec![vec![f64::NAN; m]; s];
+        let mut commb_done = vec![vec![f64::NAN; m]; s.saturating_sub(1)];
+
+        let mut stage_free = vec![0.0f64; s];
+        let mut chan_f_free = vec![0.0f64; s.saturating_sub(1)];
+        let mut chan_b_free = vec![0.0f64; s.saturating_sub(1)];
+        let mut next_step = vec![0usize; s];
+        let mut tasks: Vec<TaskRecord> = Vec::with_capacity(4 * s * m);
+        let mut busy_us = vec![0.0f64; s];
+        let mut memory: Vec<StageMemory> = (0..s)
+            .map(|i| {
+                let st = &self.plan.stages[i];
+                let slice = mb_samples / st.replication() as f64;
+                StageMemory::new(
+                    self.cost.profile,
+                    &self.cost.memory,
+                    st.layers.clone(),
+                    slice,
+                    cfg.recompute,
+                )
+            })
+            .collect();
+
+        // Ready-driven loop: advance any stage whose next step's
+        // dependency is resolved; communication is dispatched eagerly on
+        // task completion and serializes on its boundary channel.
+        loop {
+            let mut progressed = false;
+            for i in 0..s {
+                while next_step[i] < orders[i].len() {
+                    let step = orders[i][next_step[i]];
+                    let (dep, dur, kind, micro) = match step {
+                        Step::Fw(u) => {
+                            let dep = if i == 0 {
+                                Some(0.0)
+                            } else {
+                                val(&commf_done[i - 1], u)
+                            };
+                            (dep, lat[2 * i].fw_us, TaskKind::Fw, u)
+                        }
+                        Step::Bw(u) => {
+                            let dep = if i == s - 1 {
+                                val(&fw_done[i], u)
+                            } else {
+                                val(&commb_done[i], u)
+                            };
+                            let mut dur = lat[2 * i].bw_us;
+                            if cfg.recompute {
+                                // Re-materialize the discarded activations.
+                                dur += lat[2 * i].fw_us;
+                            }
+                            (dep, dur, TaskKind::Bw, u)
+                        }
+                    };
+                    let Some(dep_end) = dep else { break };
+                    let start = stage_free[i].max(dep_end);
+                    let end = start + dur;
+                    stage_free[i] = end;
+                    busy_us[i] += dur;
+                    tasks.push(TaskRecord {
+                        stage: i,
+                        kind,
+                        micro,
+                        start_us: start,
+                        end_us: end,
+                    });
+                    match step {
+                        Step::Fw(u) => {
+                            fw_done[i][u] = end;
+                            memory[i].on_forward(start, end);
+                            if i + 1 < s {
+                                let cstart = chan_f_free[i].max(end);
+                                let cend = cstart + lat[2 * i + 1].fw_us;
+                                chan_f_free[i] = cend;
+                                commf_done[i][u] = cend;
+                                tasks.push(TaskRecord {
+                                    stage: i,
+                                    kind: TaskKind::CommF,
+                                    micro: u,
+                                    start_us: cstart,
+                                    end_us: cend,
+                                });
+                            }
+                        }
+                        Step::Bw(u) => {
+                            bw_done[i][u] = end;
+                            memory[i].on_backward(start, end);
+                            if i > 0 {
+                                let cstart = chan_b_free[i - 1].max(end);
+                                let cend = cstart + lat[2 * i - 1].bw_us;
+                                chan_b_free[i - 1] = cend;
+                                commb_done[i - 1][u] = cend;
+                                tasks.push(TaskRecord {
+                                    stage: i - 1,
+                                    kind: TaskKind::CommB,
+                                    micro: u,
+                                    start_us: cstart,
+                                    end_us: cend,
+                                });
+                            }
+                        }
+                    }
+                    next_step[i] += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(
+            next_step.iter().zip(&orders).all(|(&n, o)| n == o.len()),
+            "pipeline deadlock: {next_step:?} of {:?}",
+            orders.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+
+        // Gradient synchronization per replicated stage, then weight apply.
+        let mut makespan: f64 = 0.0;
+        for i in 0..s {
+            let last_bw = bw_done[i].iter().cloned().fold(0.0f64, f64::max);
+            let ar = lat[2 * i].allreduce_us;
+            if ar > 0.0 {
+                tasks.push(TaskRecord {
+                    stage: i,
+                    kind: TaskKind::AllReduce,
+                    micro: 0,
+                    start_us: last_bw,
+                    end_us: last_bw + ar,
+                });
+            }
+            makespan = makespan.max(last_bw + ar);
+        }
+
+        let peak_mem: Vec<Bytes> = memory.iter().map(StageMemory::peak).collect();
+        let mem_series: Vec<Vec<(f64, Bytes)>> =
+            memory.into_iter().map(StageMemory::into_series).collect();
+        let device_mem = device.mem;
+        let oom = peak_mem.iter().any(|&p| p > device_mem);
+        let throughput = self.cost.global_batch as f64 / (makespan / 1e6);
+
+        SimResult {
+            makespan_us: makespan,
+            throughput,
+            tasks,
+            busy_us,
+            peak_mem,
+            mem_series,
+            oom,
+            device_mem,
+        }
+    }
+}
+
+/// NaN-aware dependency lookup.
+fn val(row: &[f64], u: usize) -> Option<f64> {
+    let v = row[u];
+    if v.is_nan() {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::KPolicy;
+    use dapple_cluster::Cluster;
+    use dapple_core::{DeviceId, StagePlan};
+    use dapple_model::{synthetic, OptimizerKind};
+    use dapple_planner::pipeline_latency;
+    use dapple_profiler::{MemoryModel, ModelProfile};
+
+    struct Fixture {
+        cluster: Cluster,
+        profile: ModelProfile,
+    }
+
+    fn fixture(layers: usize) -> Fixture {
+        let cluster = Cluster::config_b(4);
+        let g = synthetic::uniform(
+            layers,
+            100.0,
+            dapple_core::Bytes::mb(20.0),
+            dapple_core::Bytes::mb(1.0),
+        );
+        let profile = ModelProfile::profile(&g, &cluster.device);
+        Fixture { cluster, profile }
+    }
+
+    fn straight_plan(layers: usize, stages: usize) -> Plan {
+        let per = layers / stages;
+        Plan::new(
+            (0..stages)
+                .map(|i| StagePlan::new(i * per..(i + 1) * per, vec![DeviceId(i as u32)]))
+                .collect(),
+        )
+    }
+
+    fn cost<'a>(fx: &'a Fixture, gbs: usize) -> CostModel<'a> {
+        CostModel::new(
+            &fx.profile,
+            &fx.cluster,
+            MemoryModel::new(OptimizerKind::Adam),
+            gbs,
+        )
+    }
+
+    fn run(
+        cm: &CostModel<'_>,
+        plan: &Plan,
+        m: usize,
+        schedule: Schedule,
+        recompute: bool,
+    ) -> SimResult {
+        PipelineSim::new(cm, plan).run(SimConfig {
+            micro_batches: m,
+            schedule,
+            recompute,
+        })
+    }
+
+    /// The simulated DAPPLE makespan matches the planner's closed-form
+    /// objective on uniform pipelines (the estimator is exact there).
+    #[test]
+    fn sim_matches_latency_formula_on_uniform_pipeline() {
+        let fx = fixture(8);
+        let cm = cost(&fx, 16);
+        let plan = straight_plan(8, 4);
+        for m in [1usize, 2, 4, 8, 16] {
+            let sim = run(&cm, &plan, m, Schedule::Dapple(KPolicy::PB), false);
+            let lat = cm.stage_latencies(&plan.stages, m);
+            let formula = pipeline_latency(&lat, m).total_us();
+            let rel = (sim.makespan_us - formula).abs() / formula;
+            assert!(
+                rel < 0.05,
+                "M={m}: sim {} vs formula {formula}",
+                sim.makespan_us
+            );
+        }
+    }
+
+    /// All tasks run once; forwards precede their backwards; stage tasks
+    /// never overlap on one stage.
+    #[test]
+    fn sim_invariants() {
+        let fx = fixture(8);
+        let cm = cost(&fx, 16);
+        let plan = straight_plan(8, 4);
+        for schedule in [
+            Schedule::GPipe,
+            Schedule::Dapple(KPolicy::PA),
+            Schedule::Dapple(KPolicy::PB),
+        ] {
+            let sim = run(&cm, &plan, 8, schedule, false);
+            let fw: Vec<_> = sim
+                .tasks
+                .iter()
+                .filter(|t| t.kind == TaskKind::Fw)
+                .collect();
+            let bw: Vec<_> = sim
+                .tasks
+                .iter()
+                .filter(|t| t.kind == TaskKind::Bw)
+                .collect();
+            assert_eq!(fw.len(), 4 * 8, "{schedule}");
+            assert_eq!(bw.len(), 4 * 8, "{schedule}");
+            for b in &bw {
+                let f = fw
+                    .iter()
+                    .find(|f| f.stage == b.stage && f.micro == b.micro)
+                    .unwrap();
+                assert!(f.end_us <= b.start_us + 1e-9, "{schedule}: B before F");
+            }
+            // No overlap per stage.
+            for i in 0..4 {
+                let mut mine: Vec<_> = sim
+                    .tasks
+                    .iter()
+                    .filter(|t| t.stage == i && matches!(t.kind, TaskKind::Fw | TaskKind::Bw))
+                    .collect();
+                mine.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+                for w in mine.windows(2) {
+                    assert!(w[0].end_us <= w[1].start_us + 1e-9, "{schedule}: overlap");
+                }
+            }
+        }
+    }
+
+    /// GPipe's peak memory grows with M; DAPPLE's stays flat (Fig. 3c and
+    /// the core claim of Table VI).
+    #[test]
+    fn dapple_peak_memory_independent_of_m() {
+        let fx = fixture(8);
+        let plan = straight_plan(8, 2);
+        // Fixed micro-batch size of 8 samples; M = 2 vs M = 8 (GBS 16/64),
+        // exactly the Table VI protocol.
+        let cm_small = cost(&fx, 16);
+        let cm_big = cost(&fx, 64);
+        let gp2 = run(&cm_small, &plan, 2, Schedule::GPipe, false);
+        let gp8 = run(&cm_big, &plan, 8, Schedule::GPipe, false);
+        let da2 = run(&cm_small, &plan, 2, Schedule::Dapple(KPolicy::PA), false);
+        let da8 = run(&cm_big, &plan, 8, Schedule::Dapple(KPolicy::PA), false);
+        assert!(
+            gp8.peak_memory_max() > gp2.peak_memory_max(),
+            "GPipe must accumulate activations with more micro-batches"
+        );
+        assert_eq!(
+            da8.peak_memory_max(),
+            da2.peak_memory_max(),
+            "DAPPLE peak must be independent of M"
+        );
+        assert!(da8.peak_memory_max() < gp8.peak_memory_max());
+    }
+
+    /// DAPPLE achieves the same bubble time as GPipe for the same
+    /// partition and M (§III-B) while using less memory.
+    #[test]
+    fn dapple_throughput_not_worse_than_gpipe() {
+        let fx = fixture(8);
+        let cm = cost(&fx, 32);
+        let plan = straight_plan(8, 4);
+        let gp = run(&cm, &plan, 8, Schedule::GPipe, false);
+        let da = run(&cm, &plan, 8, Schedule::Dapple(KPolicy::PB), false);
+        assert!(
+            da.makespan_us <= gp.makespan_us * 1.01,
+            "DAPPLE {} vs GPipe {}",
+            da.makespan_us,
+            gp.makespan_us
+        );
+    }
+
+    /// Re-computation trades backward time for activation memory.
+    #[test]
+    fn recompute_saves_memory_costs_time() {
+        let fx = fixture(8);
+        let cm = cost(&fx, 32);
+        let plan = straight_plan(8, 2);
+        let plain = run(&cm, &plan, 8, Schedule::GPipe, false);
+        let rc = run(&cm, &plan, 8, Schedule::GPipe, true);
+        assert!(rc.peak_memory_max() < plain.peak_memory_max());
+        assert!(rc.makespan_us > plain.makespan_us);
+    }
+
+    /// Single-stage plan reduces to gradient accumulation.
+    #[test]
+    fn single_stage_is_sequential() {
+        let fx = fixture(4);
+        let cm = cost(&fx, 8);
+        let plan = Plan::new(vec![StagePlan::new(0..4, vec![DeviceId(0)])]);
+        let sim = run(&cm, &plan, 4, Schedule::Dapple(KPolicy::PA), false);
+        let lat = cm.stage_latencies(&plan.stages, 4);
+        let expect = 4.0 * (lat[0].fw_us + lat[0].bw_us);
+        assert!((sim.makespan_us - expect).abs() < 1e-6);
+        assert!((sim.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    /// Utilization and bubbles are consistent and bounded.
+    #[test]
+    fn utilization_bounds() {
+        let fx = fixture(8);
+        let cm = cost(&fx, 64);
+        let plan = straight_plan(8, 4);
+        for m in [2usize, 8, 32] {
+            let sim = run(&cm, &plan, m, Schedule::Dapple(KPolicy::PB), false);
+            let u = sim.utilization();
+            assert!(u > 0.0 && u <= 1.0, "M={m}: {u}");
+            assert!((sim.bubble_ratio() - (1.0 - u)).abs() < 1e-12);
+            // More micro-batches => fewer bubbles.
+            if m > 2 {
+                let small = run(&cm, &plan, 2, Schedule::Dapple(KPolicy::PB), false);
+                assert!(sim.utilization() > small.utilization());
+            }
+        }
+    }
+
+    /// OOM detection: tiny device memory flags the run.
+    #[test]
+    fn oom_flagging() {
+        let mut cluster = Cluster::config_b(2);
+        cluster.device.mem = Bytes::gib(1.0);
+        let g = synthetic::uniform(
+            4,
+            100.0,
+            dapple_core::Bytes::mb(20.0),
+            dapple_core::Bytes::mb(64.0),
+        );
+        let profile = ModelProfile::profile(&g, &cluster.device);
+        let cm = CostModel::new(
+            &profile,
+            &cluster,
+            MemoryModel::new(OptimizerKind::Adam),
+            32,
+        );
+        let plan = Plan::new(vec![
+            StagePlan::new(0..2, vec![DeviceId(0)]),
+            StagePlan::new(2..4, vec![DeviceId(1)]),
+        ]);
+        let sim = PipelineSim::new(&cm, &plan).run(SimConfig {
+            micro_batches: 16,
+            schedule: Schedule::GPipe,
+            recompute: false,
+        });
+        assert!(
+            sim.oom,
+            "peak {} vs {}",
+            sim.peak_memory_max(),
+            sim.device_mem
+        );
+    }
+
+    use dapple_core::Bytes;
+}

@@ -1,0 +1,159 @@
+//! ASCII Gantt rendering of simulated schedules (Fig. 3 / Fig. 4 style).
+
+use crate::exec::{SimResult, TaskKind};
+
+/// Renders the compute tasks of a simulation as an ASCII Gantt chart:
+/// one row per stage, `F` blocks for forwards and `B` blocks for
+/// backwards labelled with the micro-batch index, `.` for bubbles.
+///
+/// `width` is the number of character cells the makespan is scaled to.
+pub fn render_timeline(result: &SimResult, width: usize) -> String {
+    let width = width.max(10);
+    let scale = width as f64 / result.makespan_us;
+    let stages = result.busy_us.len();
+    let mut rows = vec![vec![b'.'; width]; stages];
+    for t in &result.tasks {
+        let (label, row) = match t.kind {
+            TaskKind::Fw => (b'F', t.stage),
+            TaskKind::Bw => (b'B', t.stage),
+            TaskKind::AllReduce => (b'R', t.stage),
+            TaskKind::CommF | TaskKind::CommB => continue,
+        };
+        let a = (t.start_us * scale).floor() as usize;
+        let b = ((t.end_us * scale).ceil() as usize).min(width).max(a + 1);
+        let cells = &mut rows[row][a..b.min(width)];
+        if cells.is_empty() {
+            continue;
+        }
+        cells.fill(label);
+        // Tag the micro-batch index into the block when it fits.
+        if cells.len() >= 2 && t.kind != TaskKind::AllReduce {
+            let tag = format!("{}", t.micro % 10);
+            cells[1] = tag.as_bytes()[0];
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.into_iter().enumerate() {
+        out.push_str(&format!("S{i:<2}|"));
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "    makespan {:.2} ms, utilization {:.0}%, peak mem {}\n",
+        result.makespan_us / 1e3,
+        result.utilization() * 100.0,
+        result.peak_memory_max(),
+    ));
+    out
+}
+
+/// Renders a memory-over-time series as a compact ASCII sparkline
+/// (Fig. 3c): one char per sample point, height-quantized into 8 levels.
+pub fn render_memory_series(series: &[(f64, dapple_core::Bytes)], width: usize) -> String {
+    const LEVELS: &[u8] = b" 12345678";
+    if series.is_empty() {
+        return String::new();
+    }
+    let t_max = series.last().map(|p| p.0).unwrap_or(1.0).max(1e-9);
+    let max = series.iter().map(|p| p.1 .0).max().unwrap_or(1).max(1);
+    let mut cells = vec![b' '; width.max(10)];
+    let mut level = 0u8;
+    let mut idx = 0usize;
+    for (i, cell) in cells.iter_mut().enumerate() {
+        let t = (i as f64 + 0.5) / width as f64 * t_max;
+        while idx < series.len() && series[idx].0 <= t {
+            level = ((series[idx].1 .0 as f64 / max as f64) * 8.0).round() as u8;
+            idx += 1;
+        }
+        *cell = LEVELS[level.min(8) as usize];
+    }
+    format!(
+        "|{}| peak {}\n",
+        std::str::from_utf8(&cells).expect("ascii"),
+        dapple_core::Bytes(max)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::TaskRecord;
+    use dapple_core::Bytes;
+
+    fn tiny_result() -> SimResult {
+        SimResult {
+            makespan_us: 100.0,
+            throughput: 1.0,
+            tasks: vec![
+                TaskRecord {
+                    stage: 0,
+                    kind: TaskKind::Fw,
+                    micro: 0,
+                    start_us: 0.0,
+                    end_us: 40.0,
+                },
+                TaskRecord {
+                    stage: 0,
+                    kind: TaskKind::Bw,
+                    micro: 0,
+                    start_us: 60.0,
+                    end_us: 100.0,
+                },
+                TaskRecord {
+                    stage: 1,
+                    kind: TaskKind::Fw,
+                    micro: 0,
+                    start_us: 40.0,
+                    end_us: 60.0,
+                },
+            ],
+            busy_us: vec![80.0, 20.0],
+            peak_mem: vec![Bytes::mb(10.0), Bytes::mb(5.0)],
+            mem_series: vec![vec![(0.0, Bytes::mb(5.0)), (50.0, Bytes::mb(10.0))], vec![]],
+            oom: false,
+            device_mem: Bytes::gib(16.0),
+        }
+    }
+
+    #[test]
+    fn timeline_has_one_row_per_stage() {
+        let s = render_timeline(&tiny_result(), 40);
+        let rows: Vec<&str> = s.lines().collect();
+        assert!(rows[0].starts_with("S0 |"));
+        assert!(rows[1].starts_with("S1 |"));
+        assert!(rows[0].contains('F') && rows[0].contains('B'));
+        assert!(rows[1].contains('F') && !rows[1].contains('B'));
+        assert!(rows[2].contains("makespan"));
+    }
+
+    #[test]
+    fn timeline_blocks_cover_expected_fraction() {
+        let s = render_timeline(&tiny_result(), 100);
+        let row0: &str = s.lines().next().unwrap();
+        let f_cells = row0.chars().filter(|&c| c == 'F' || c == '0').count();
+        // Forward spans 40% of the makespan.
+        assert!((38..=44).contains(&f_cells), "{f_cells}: {row0}");
+    }
+
+    #[test]
+    fn memory_sparkline_is_monotone_with_series() {
+        let series = vec![
+            (0.0, Bytes::mb(1.0)),
+            (25.0, Bytes::mb(2.0)),
+            (50.0, Bytes::mb(4.0)),
+            (100.0, Bytes::mb(4.0)),
+        ];
+        let s = render_memory_series(&series, 40);
+        let expect = format!("peak {}", Bytes::mb(4.0));
+        assert!(s.contains(&expect), "{s}");
+        // Levels never decrease in this series.
+        let inner = s.split('|').nth(1).unwrap();
+        let digits: Vec<u8> = inner
+            .bytes()
+            .map(|b| if b == b' ' { 0 } else { b - b'0' })
+            .collect();
+        for w in digits.windows(2) {
+            assert!(w[1] >= w[0], "{s}");
+        }
+    }
+}

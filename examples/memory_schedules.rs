@@ -1,0 +1,68 @@
+//! Memory/throughput trade-offs of pipeline schedules (Table VI style).
+//!
+//! ```text
+//! cargo run --release --example memory_schedules
+//! ```
+//!
+//! Sweeps the micro-batch count for a two-stage BERT-48 pipeline under
+//! four runtimes — GPipe and DAPPLE, each with and without activation
+//! re-computation — and prints throughput and average peak memory. The
+//! DAPPLE rows demonstrate the paper's key property: peak memory is
+//! independent of M thanks to early backward scheduling, so throughput can
+//! be raised with more micro-batches at no memory cost.
+
+use dapple::cluster::Cluster;
+use dapple::core::{DeviceId, Plan, StagePlan};
+use dapple::model::zoo;
+use dapple::planner::CostModel;
+use dapple::profiler::{MemoryModel, ModelProfile};
+use dapple::sim::{KPolicy, PipelineSim, Schedule, SimConfig};
+
+fn main() {
+    let spec = zoo::bert48();
+    let cluster = Cluster::config_b(2);
+    let profile = ModelProfile::profile(&spec.graph, &cluster.device);
+    let memory = MemoryModel::new(spec.optimizer);
+    let plan = Plan::new(vec![
+        StagePlan::new(0..24, vec![DeviceId(0)]),
+        StagePlan::new(24..48, vec![DeviceId(1)]),
+    ]);
+    println!(
+        "BERT-48, two-stage 24:24 pipeline on {}, micro-batch size 2\n",
+        cluster.name
+    );
+    println!(
+        "{:<14} {:>4} {:>14} {:>16} {:>6}",
+        "runtime", "M", "samples/s", "avg peak mem", "OOM"
+    );
+    for (name, schedule, recompute) in [
+        ("GPipe", Schedule::GPipe, false),
+        ("GPipe + RC", Schedule::GPipe, true),
+        ("DAPPLE", Schedule::Dapple(KPolicy::PA), false),
+        ("DAPPLE + RC", Schedule::Dapple(KPolicy::PA), true),
+    ] {
+        for m in [2usize, 4, 8, 16, 32] {
+            // Fixed micro-batch size of 2 samples => GBS = 2 M.
+            let cm = CostModel::new(&profile, &cluster, memory, 2 * m);
+            let run = PipelineSim::new(&cm, &plan).run(SimConfig {
+                micro_batches: m,
+                schedule,
+                recompute,
+            });
+            println!(
+                "{:<14} {:>4} {:>14.2} {:>16} {:>6}",
+                name,
+                m,
+                run.throughput,
+                run.peak_memory_avg().to_string(),
+                if run.oom { "OOM" } else { "" }
+            );
+        }
+        println!();
+    }
+    println!(
+        "GPipe's peak grows linearly with M (activations for every\n\
+         in-flight micro-batch); DAPPLE's stays flat, and re-computation\n\
+         composes with both for a further reduction at ~25% throughput cost."
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: plan and simulate pipelined training for BERT-48.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Profiles BERT-48 on a hierarchical 2x8 V100 cluster (Table III
+//! Config A), searches the hybrid data/pipeline parallelism space with the
+//! DAPPLE planner, then executes the winning plan in the discrete-event
+//! simulator under both GPipe and DAPPLE early-backward scheduling.
+
+use dapple::cluster::Cluster;
+use dapple::model::zoo;
+use dapple::planner::{CostModel, DapplePlanner, PlannerConfig};
+use dapple::profiler::{MemoryModel, ModelProfile};
+use dapple::sim::{render_timeline, KPolicy, PipelineSim, Schedule, SimConfig};
+
+fn main() {
+    // 1. Model + hardware.
+    let spec = zoo::bert48();
+    let cluster = Cluster::config_a(2);
+    println!(
+        "model {} ({:.0}M params), cluster {}, global batch {}",
+        spec.name(),
+        spec.graph.total_params() as f64 / 1e6,
+        cluster.name,
+        spec.global_batch
+    );
+
+    // 2. Profile (per-layer compute times, activation and parameter sizes).
+    let profile = ModelProfile::profile(&spec.graph, &cluster.device);
+    println!(
+        "profiled: fw {:.1} ms/sample, bw {:.1} ms/sample, grads {}",
+        profile.total_fw_us() / 1e3,
+        profile.total_bw_us() / 1e3,
+        profile.total_param_bytes()
+    );
+
+    // 3. Plan.
+    let memory = MemoryModel::new(spec.optimizer);
+    let planner = DapplePlanner::new(
+        &profile,
+        &cluster,
+        memory,
+        PlannerConfig::new(spec.global_batch),
+    );
+    let strategy = planner.plan().expect("plannable");
+    let single = planner.cost_model().single_device_us();
+    println!(
+        "\nplan: {} (split {}), M = {}, ACR = {:.2}",
+        strategy.plan.notation(),
+        strategy.plan.split_notation(),
+        strategy.micro_batches,
+        strategy.acr
+    );
+    println!(
+        "estimated iteration {:.1} ms -> {:.2}x speedup over one device",
+        strategy.latency_us / 1e3,
+        strategy.speedup(single)
+    );
+
+    // 4. Simulate the plan under both schedules.
+    let cost = CostModel::new(&profile, &cluster, memory, spec.global_batch);
+    let sim = PipelineSim::new(&cost, &strategy.plan);
+    for schedule in [Schedule::GPipe, Schedule::Dapple(KPolicy::PA)] {
+        let run = sim.run(SimConfig {
+            micro_batches: strategy.micro_batches,
+            schedule,
+            recompute: false,
+        });
+        println!(
+            "\n{schedule}: {:.1} ms, {:.0} samples/s, peak mem {} {}",
+            run.makespan_us / 1e3,
+            run.throughput,
+            run.peak_memory_max(),
+            if run.oom { "(OOM!)" } else { "" }
+        );
+        print!("{}", render_timeline(&run, 90));
+    }
+}
