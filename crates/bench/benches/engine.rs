@@ -43,6 +43,8 @@ fn bench_train_step(c: &mut Criterion) {
             lr: 0.1,
             max_in_flight: usize::MAX,
             loss: dapple_engine::LossKind::Mse,
+            recv_timeout: std::time::Duration::from_secs(5),
+            nan_policy: dapple_engine::NanPolicy::AbortStep,
         },
     )
     .unwrap();

@@ -21,6 +21,58 @@ pub enum DappleError {
     AllocationFailed(String),
     /// An engine-level shape mismatch (tensor dims, stage wiring).
     ShapeMismatch(String),
+    /// A pipeline worker waited longer than the configured receive
+    /// timeout for a boundary message. `step` is the index into the
+    /// stage's deterministic step order
+    /// (`dapple_sim::schedule::stage_order`).
+    Stalled {
+        /// Stage whose worker timed out.
+        stage: usize,
+        /// Replica within the stage.
+        replica: usize,
+        /// Step index the worker was blocked on.
+        step: usize,
+    },
+    /// A pipeline worker thread panicked; the payload is preserved.
+    WorkerPanicked {
+        /// Stage whose worker panicked.
+        stage: usize,
+        /// Replica within the stage.
+        replica: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A micro-batch produced NaN/Inf gradient values and the configured
+    /// policy aborts the step.
+    NonFinite {
+        /// Stage that detected the non-finite contribution.
+        stage: usize,
+        /// Replica within the stage.
+        replica: usize,
+        /// Micro-batch whose gradient contribution was non-finite.
+        micro: usize,
+    },
+    /// A boundary channel violated the pipeline protocol (duplicated or
+    /// excess rows, trailing messages after the schedule completed).
+    ChannelProtocol {
+        /// Stage that observed the violation.
+        stage: usize,
+        /// Replica within the stage.
+        replica: usize,
+        /// What was observed.
+        detail: String,
+    },
+    /// A boundary channel disconnected while a worker still needed it —
+    /// a peer exited early (typically as fallout of the peer's own
+    /// failure, which the coordinator reports in preference to this).
+    ChannelClosed {
+        /// Stage whose worker lost the channel.
+        stage: usize,
+        /// Replica within the stage.
+        replica: usize,
+        /// Step index the worker was blocked on.
+        step: usize,
+    },
 }
 
 impl fmt::Display for DappleError {
@@ -31,6 +83,46 @@ impl fmt::Display for DappleError {
             DappleError::NoFeasiblePlan(m) => write!(f, "no feasible plan: {m}"),
             DappleError::AllocationFailed(m) => write!(f, "device allocation failed: {m}"),
             DappleError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            DappleError::Stalled {
+                stage,
+                replica,
+                step,
+            } => write!(
+                f,
+                "pipeline stalled: stage {stage} replica {replica} timed out at step {step}"
+            ),
+            DappleError::WorkerPanicked {
+                stage,
+                replica,
+                message,
+            } => write!(
+                f,
+                "worker panicked: stage {stage} replica {replica}: {message}"
+            ),
+            DappleError::NonFinite {
+                stage,
+                replica,
+                micro,
+            } => write!(
+                f,
+                "non-finite gradients: stage {stage} replica {replica} micro-batch {micro}"
+            ),
+            DappleError::ChannelProtocol {
+                stage,
+                replica,
+                detail,
+            } => write!(
+                f,
+                "channel protocol violation: stage {stage} replica {replica}: {detail}"
+            ),
+            DappleError::ChannelClosed {
+                stage,
+                replica,
+                step,
+            } => write!(
+                f,
+                "channel closed: stage {stage} replica {replica} disconnected at step {step}"
+            ),
         }
     }
 }
@@ -53,5 +145,74 @@ mod tests {
     fn implements_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&DappleError::InvalidConfig("x".into()));
+    }
+
+    #[test]
+    fn runtime_errors_carry_coordinates() {
+        let cases = [
+            (
+                DappleError::Stalled {
+                    stage: 1,
+                    replica: 0,
+                    step: 5,
+                },
+                "stalled",
+            ),
+            (
+                DappleError::WorkerPanicked {
+                    stage: 2,
+                    replica: 1,
+                    message: "boom".into(),
+                },
+                "panicked",
+            ),
+            (
+                DappleError::NonFinite {
+                    stage: 1,
+                    replica: 0,
+                    micro: 3,
+                },
+                "non-finite",
+            ),
+            (
+                DappleError::ChannelProtocol {
+                    stage: 0,
+                    replica: 0,
+                    detail: "duplicate rows".into(),
+                },
+                "protocol",
+            ),
+            (
+                DappleError::ChannelClosed {
+                    stage: 2,
+                    replica: 0,
+                    step: 7,
+                },
+                "closed",
+            ),
+        ];
+        for (err, needle) in cases {
+            let s = err.to_string();
+            assert!(s.contains(needle), "{s} should mention {needle}");
+            assert!(s.contains("stage"), "{s} should carry coordinates");
+        }
+    }
+
+    #[test]
+    fn runtime_errors_compare_structurally() {
+        let a = DappleError::Stalled {
+            stage: 1,
+            replica: 0,
+            step: 5,
+        };
+        assert_eq!(a.clone(), a);
+        assert_ne!(
+            a,
+            DappleError::Stalled {
+                stage: 1,
+                replica: 0,
+                step: 6,
+            }
+        );
     }
 }

@@ -22,6 +22,7 @@
 
 pub mod checkpoint;
 pub mod data;
+pub mod fault;
 pub mod layer;
 pub mod loss;
 pub mod model;
@@ -29,9 +30,10 @@ pub mod optim;
 pub mod pipeline;
 pub mod tensor;
 
+pub use fault::{FaultKind, FaultPlan, NanPolicy};
 pub use layer::{Activation, Dense};
 pub use loss::LossKind;
 pub use model::{MlpModel, StepStats};
 pub use optim::Optimizer;
-pub use pipeline::{EngineConfig, PipelineTrainer};
+pub use pipeline::{EngineConfig, PipelineTrainer, StepOutcome};
 pub use tensor::Tensor;

@@ -10,17 +10,35 @@
 //! and are synchronized with the ring AllReduce before a single SGD apply
 //! (Fig. 10) — synchronous semantics, bit-compatible with full-batch
 //! training up to float reassociation.
+//!
+//! # Failure semantics
+//!
+//! Workers return `Result` instead of unwinding into the coordinator:
+//! every channel wait is bounded by [`EngineConfig::recv_timeout`] (a
+//! deadlock surfaces as [`DappleError::Stalled`], never a hang), worker
+//! panics are caught and reported as [`DappleError::WorkerPanicked`],
+//! and non-finite gradient contributions are detected per micro-batch
+//! before the AllReduce and handled per [`NanPolicy`]. On shutdown each
+//! worker first drops its senders, then drains its receivers, so
+//! duplicated or trailing messages are caught deterministically as
+//! [`DappleError::ChannelProtocol`]. When several workers fail (one root
+//! cause typically cascades), the coordinator reports the most causally
+//! specific error: panic over non-finite over protocol violation over
+//! stall over closed channel. The model is untouched on any failure, so
+//! the trainer stays usable for the next step.
 
+use crate::fault::{FaultKind, FaultPlan, NanPolicy};
 use crate::layer::{Dense, DenseCache, DenseGrads};
 use crate::loss::{loss_grad, LossKind};
 use crate::model::{MlpModel, StepStats};
 use crate::tensor::Tensor;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dapple_core::{DappleError, Result};
 use dapple_sim::schedule::{stage_order, Step};
 use dapple_sim::Schedule;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::Range;
+use std::time::{Duration, Instant};
 
 /// Configuration of a pipeline training run.
 #[derive(Debug, Clone)]
@@ -41,6 +59,12 @@ pub struct EngineConfig {
     pub max_in_flight: usize,
     /// Loss optimized by the last stage.
     pub loss: LossKind,
+    /// Upper bound on every boundary-channel wait. A worker blocked
+    /// longer reports [`DappleError::Stalled`] instead of hanging.
+    pub recv_timeout: Duration,
+    /// What to do when a micro-batch's gradient contribution contains
+    /// NaN/Inf values.
+    pub nan_policy: NanPolicy,
 }
 
 impl EngineConfig {
@@ -56,6 +80,8 @@ impl EngineConfig {
             lr,
             max_in_flight: usize::MAX,
             loss: LossKind::Mse,
+            recv_timeout: Duration::from_secs(5),
+            nan_policy: NanPolicy::AbortStep,
         }
     }
 }
@@ -74,6 +100,28 @@ struct WorkerOut {
     replica: usize,
     grads: Vec<DenseGrads>,
     loss: f32,
+    /// Micro-batches dropped under [`NanPolicy::SkipMicroBatch`].
+    skipped: usize,
+    /// Values replaced under [`NanPolicy::ZeroAndWarn`].
+    zeroed: usize,
+}
+
+/// The result of one pipelined gradient computation, including what the
+/// NaN policy did along the way.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Total loss over the global batch (minus any skipped micro-batches).
+    pub loss: f32,
+    /// Per-layer gradients, directly comparable with
+    /// [`MlpModel::reference_grads`].
+    pub grads: Vec<DenseGrads>,
+    /// Micro-batch contributions dropped by [`NanPolicy::SkipMicroBatch`],
+    /// summed over stage replicas (each replica that detects the poison
+    /// counts it once).
+    pub skipped_micro_batches: usize,
+    /// Non-finite values replaced by [`NanPolicy::ZeroAndWarn`], summed
+    /// over stage replicas.
+    pub zeroed_values: usize,
 }
 
 /// The pipeline trainer: a model plus its parallelization config.
@@ -116,6 +164,11 @@ impl PipelineTrainer {
                 "need at least one micro-batch".into(),
             ));
         }
+        if cfg.recv_timeout.is_zero() {
+            return Err(DappleError::InvalidConfig(
+                "recv_timeout must be positive".into(),
+            ));
+        }
         Ok(PipelineTrainer { model, cfg })
     }
 
@@ -128,6 +181,22 @@ impl PipelineTrainer {
     /// weights. Returns `(loss, per-layer grads)` — directly comparable
     /// with [`MlpModel::reference_grads`].
     pub fn step_grads(&self, x: &Tensor, target: &Tensor) -> Result<(f32, Vec<DenseGrads>)> {
+        let out = self.step_grads_with_faults(x, target, &FaultPlan::new())?;
+        Ok((out.loss, out.grads))
+    }
+
+    /// [`Self::step_grads`] under a fault-injection plan. With an empty
+    /// plan this is bit-identical to the plain path; with faults it
+    /// returns the structured error of the root cause (or, under a
+    /// lenient [`NanPolicy`], a [`StepOutcome`] describing what was
+    /// skipped or zeroed). The model is never modified here, so the
+    /// trainer remains usable after a failed step.
+    pub fn step_grads_with_faults(
+        &self,
+        x: &Tensor,
+        target: &Tensor,
+        faults: &FaultPlan,
+    ) -> Result<StepOutcome> {
         let n = x.rows;
         let m = self.cfg.micro_batches;
         if !n.is_multiple_of(m) {
@@ -143,6 +212,7 @@ impl PipelineTrainer {
                 )));
             }
         }
+        faults.validate(&self.cfg)?;
         let s = self.cfg.stage_bounds.len();
 
         // Row ranges (micro-batch local) per stage replica.
@@ -179,7 +249,7 @@ impl PipelineTrainer {
             bwd_tx.push(txs);
         }
 
-        let mut outs: Vec<WorkerOut> = Vec::with_capacity(s * 2);
+        let mut results: Vec<Result<WorkerOut>> = Vec::with_capacity(s * 2);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for i in 0..s {
@@ -221,24 +291,53 @@ impl PipelineTrainer {
                         tx_b,
                         next_rows,
                         prev_rows,
+                        faults: faults.for_worker(i, p),
+                        nan_policy: self.cfg.nan_policy,
+                        recv_timeout: self.cfg.recv_timeout,
                     };
-                    handles.push(scope.spawn(move || worker.run()));
+                    handles.push(scope.spawn(move || {
+                        // A panicking worker (genuine bug or injected
+                        // fault) unwinds here, dropping its channel
+                        // endpoints so peers observe the failure instead
+                        // of deadlocking; the payload is preserved as a
+                        // structured error.
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run()))
+                            .unwrap_or_else(|payload| {
+                                Err(DappleError::WorkerPanicked {
+                                    stage: i,
+                                    replica: p,
+                                    message: panic_message(payload.as_ref()),
+                                })
+                            })
+                    }));
                 }
             }
             // Drop the original sender handles: workers hold clones, and
-            // keeping these alive would turn a worker panic into a
-            // deadlock (peers blocked on recv with a sender still open)
-            // instead of a clean cascading teardown.
+            // keeping these alive would turn a worker failure into a
+            // full-timeout stall on every peer instead of a prompt
+            // disconnect.
             drop(fwd_tx);
             drop(bwd_tx);
             for h in handles {
-                outs.push(h.join().expect("pipeline worker must not panic"));
+                // Every wait inside a worker is bounded, so the join is
+                // bounded too.
+                results.push(h.join().expect("worker result already caught"));
             }
         });
+
+        if let Some(err) = most_severe_error(&results) {
+            return Err(err);
+        }
+        let mut outs: Vec<WorkerOut> = results
+            .into_iter()
+            .map(|r| r.expect("no errors after aggregation"))
+            .collect();
 
         // Gradient sync: ring all-reduce across each stage's replicas
         // (Fig. 10), then assemble per-layer global gradients.
         let mut loss = 0.0f32;
+        let skipped_micro_batches = outs.iter().map(|o| o.skipped).sum();
+        let zeroed_values = outs.iter().map(|o| o.zeroed).sum();
         let mut global: Vec<Option<DenseGrads>> =
             (0..self.model.num_layers()).map(|_| None).collect();
         for i in 0..s {
@@ -258,12 +357,11 @@ impl PipelineTrainer {
             dapple_collectives::allreduce_sum(&mut flats);
             // Unflatten replica 0's reduced gradients into layer slots.
             let mut offset = 0usize;
-            for (k, layer_idx) in self.cfg.stage_bounds[i].clone().enumerate() {
+            for layer_idx in self.cfg.stage_bounds[i].clone() {
                 let mut g = DenseGrads::zeros_like(&self.model.layers[layer_idx]);
                 let len = g.to_flat().len();
                 g.from_flat(&flats[0][offset..offset + len]);
                 offset += len;
-                let _ = k;
                 global[layer_idx] = Some(g);
             }
         }
@@ -271,7 +369,12 @@ impl PipelineTrainer {
             .into_iter()
             .map(|g| g.expect("every layer covered"))
             .collect();
-        Ok((loss, grads))
+        Ok(StepOutcome {
+            loss,
+            grads,
+            skipped_micro_batches,
+            zeroed_values,
+        })
     }
 
     /// One synchronous training step: pipeline gradients + SGD apply.
@@ -301,6 +404,45 @@ impl PipelineTrainer {
     }
 }
 
+/// Cascade-failure ranking: when one worker's fault makes its peers fail
+/// too (a panic starves the neighbors, which then stall), report the
+/// error closest to the root cause.
+fn error_severity(e: &DappleError) -> u8 {
+    match e {
+        DappleError::WorkerPanicked { .. } => 5,
+        DappleError::NonFinite { .. } => 4,
+        DappleError::ChannelProtocol { .. } => 3,
+        DappleError::Stalled { .. } => 2,
+        DappleError::ChannelClosed { .. } => 1,
+        _ => 0,
+    }
+}
+
+/// The most severe error across worker results, ties broken by spawn
+/// order (stage, then replica) for determinism.
+fn most_severe_error(results: &[Result<WorkerOut>]) -> Option<DappleError> {
+    let mut worst: Option<&DappleError> = None;
+    for r in results {
+        if let Err(e) = r {
+            if worst.is_none_or(|w| error_severity(e) > error_severity(w)) {
+                worst = Some(e);
+            }
+        }
+    }
+    worst.cloned()
+}
+
+/// Stringifies a worker panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One stage-replica worker.
 struct Worker<'a> {
     stage: usize,
@@ -323,6 +465,10 @@ struct Worker<'a> {
     tx_b: Option<Vec<Sender<Msg>>>,
     next_rows: Option<Vec<Range<usize>>>,
     prev_rows: Option<Vec<Range<usize>>>,
+    /// Faults this worker must inject, keyed by step index.
+    faults: HashMap<usize, FaultKind>,
+    nan_policy: NanPolicy,
+    recv_timeout: Duration,
 }
 
 /// Stored state per in-flight micro-batch.
@@ -334,29 +480,47 @@ enum Flight {
 }
 
 impl Worker<'_> {
-    fn run(self) -> WorkerOut {
+    fn run(mut self) -> Result<WorkerOut> {
         let mut grads: Vec<DenseGrads> = self.layers.iter().map(DenseGrads::zeros_like).collect();
         let mut loss = 0.0f32;
+        let mut skipped = 0usize;
+        let mut zeroed = 0usize;
         let mut flights: HashMap<usize, Flight> = HashMap::new();
         let mut buf_f: HashMap<usize, Vec<Msg>> = HashMap::new();
         let mut buf_b: HashMap<usize, Vec<Msg>> = HashMap::new();
+        // Micro-batches poisoned by an injected NaN at their forward:
+        // their loss gradient is poisoned at this worker's own backward
+        // too, so the fault is detected locally even when the downstream
+        // copy is handled by a lenient policy or recomputation.
+        let mut poisoned: HashSet<usize> = HashSet::new();
 
-        for step in &self.script {
-            match *step {
+        for idx in 0..self.script.len() {
+            let step = self.script[idx];
+            let fault = self.faults.get(&idx).copied();
+            match fault {
+                Some(FaultKind::Stall(delay)) => std::thread::sleep(delay),
+                Some(FaultKind::Panic) => {
+                    // resume_unwind skips the panic hook: injected panics
+                    // are expected and should not spam stderr. The
+                    // coordinator still maps the payload to
+                    // WorkerPanicked.
+                    std::panic::resume_unwind(Box::new(format!(
+                        "injected panic at stage {} replica {} step {idx}",
+                        self.stage, self.replica
+                    )));
+                }
+                _ => {}
+            }
+            match step {
                 Step::Fw(u) => {
                     let input = if self.is_first {
                         let lo = u * self.mb + self.my_rows.start;
                         let hi = u * self.mb + self.my_rows.end;
                         self.x.slice_rows(lo..hi)
                     } else {
-                        recv_rows(
-                            self.rx_f.as_ref().expect("fwd channel"),
-                            &mut buf_f,
-                            u,
-                            self.my_rows.clone(),
-                        )
+                        self.recv_rows(RxSide::Forward, &mut buf_f, u, idx)?
                     };
-                    let (out, caches) = forward_stage(self.layers, &input);
+                    let (mut out, caches) = forward_stage(self.layers, &input);
                     flights.insert(
                         u,
                         if self.recompute {
@@ -365,8 +529,12 @@ impl Worker<'_> {
                             Flight::Cached(caches)
                         },
                     );
+                    if fault == Some(FaultKind::NanGradient) {
+                        poisoned.insert(u);
+                        out.data.fill(f32::NAN);
+                    }
                     if let (Some(txs), Some(next_rows)) = (&self.tx_f, &self.next_rows) {
-                        send_overlaps(txs, next_rows, &self.my_rows, u, &out);
+                        self.send_with_fault(fault, txs, next_rows, u, &out, idx)?;
                     }
                 }
                 Step::Bw(u) => {
@@ -374,36 +542,241 @@ impl Worker<'_> {
                         Flight::Cached(c) => c,
                         Flight::InputOnly(input) => forward_stage(self.layers, &input).1,
                     };
-                    let dy = if self.is_last {
+                    let mut micro_loss = 0.0f32;
+                    let mut dy = if self.is_last {
                         let pred = &caches.last().expect("non-empty stage").y;
                         let lo = u * self.mb + self.my_rows.start;
                         let hi = u * self.mb + self.my_rows.end;
                         let t = self.target.slice_rows(lo..hi);
                         let (l, dy) = loss_grad(self.loss, pred, &t, self.total_samples);
-                        loss += l;
+                        micro_loss = l;
                         dy
                     } else {
-                        recv_rows(
-                            self.rx_b.as_ref().expect("bwd channel"),
-                            &mut buf_b,
-                            u,
-                            self.my_rows.clone(),
-                        )
+                        self.recv_rows(RxSide::Backward, &mut buf_b, u, idx)?
                     };
-                    let dx = backward_stage(self.layers, &caches, dy, &mut grads);
+                    if fault == Some(FaultKind::NanGradient) || poisoned.contains(&u) {
+                        dy.data.fill(f32::NAN);
+                    }
+                    // Compute this micro-batch's contribution separately
+                    // so a poisoned one can be inspected — and skipped or
+                    // repaired — before it contaminates the accumulator.
+                    let mut contrib: Vec<DenseGrads> =
+                        self.layers.iter().map(DenseGrads::zeros_like).collect();
+                    let dx = backward_stage(self.layers, &caches, dy, &mut contrib);
+                    let bad = count_non_finite(&contrib) + usize::from(!micro_loss.is_finite());
+                    if bad == 0 {
+                        merge_contribution(&mut grads, &contrib);
+                        loss += micro_loss;
+                    } else {
+                        match self.nan_policy {
+                            NanPolicy::AbortStep => {
+                                return Err(DappleError::NonFinite {
+                                    stage: self.stage,
+                                    replica: self.replica,
+                                    micro: u,
+                                });
+                            }
+                            NanPolicy::SkipMicroBatch => skipped += 1,
+                            NanPolicy::ZeroAndWarn => {
+                                let mut repaired = contrib;
+                                zeroed += zero_non_finite(&mut repaired);
+                                merge_contribution(&mut grads, &repaired);
+                                if micro_loss.is_finite() {
+                                    loss += micro_loss;
+                                } else {
+                                    zeroed += 1;
+                                }
+                            }
+                        }
+                    }
+                    // The upstream stage still needs dx to make progress;
+                    // under a lenient policy it will detect and handle
+                    // the poison in its own contribution.
                     if let (Some(txs), Some(prev_rows)) = (&self.tx_b, &self.prev_rows) {
-                        send_overlaps(txs, prev_rows, &self.my_rows, u, &dx);
+                        self.send_with_fault(fault, txs, prev_rows, u, &dx, idx)?;
                     }
                 }
             }
         }
-        WorkerOut {
+        self.shutdown(&buf_f, &buf_b)?;
+        Ok(WorkerOut {
             stage: self.stage,
             replica: self.replica,
             grads,
             loss,
+            skipped,
+            zeroed,
+        })
+    }
+
+    /// Structured shutdown: drop this worker's senders *first* (so peers
+    /// draining their own receivers see a prompt disconnect rather than a
+    /// timeout), then verify nothing unexpected is left — a buffered or
+    /// trailing message at this point means a peer sent more than the
+    /// schedule allows (e.g. an injected duplicate).
+    fn shutdown(
+        &mut self,
+        buf_f: &HashMap<usize, Vec<Msg>>,
+        buf_b: &HashMap<usize, Vec<Msg>>,
+    ) -> Result<()> {
+        self.tx_f = None;
+        self.tx_b = None;
+        for (side, buf) in [("forward", buf_f), ("backward", buf_b)] {
+            if let Some((micro, parts)) = buf.iter().find(|(_, parts)| !parts.is_empty()) {
+                return Err(DappleError::ChannelProtocol {
+                    stage: self.stage,
+                    replica: self.replica,
+                    detail: format!(
+                        "{} rows of micro-batch {micro} left over on the {side} channel \
+                         after the schedule completed",
+                        parts.iter().map(|p| p.data.rows).sum::<usize>()
+                    ),
+                });
+            }
+        }
+        for (side, rx) in [("forward", &self.rx_f), ("backward", &self.rx_b)] {
+            let Some(rx) = rx else { continue };
+            match rx.recv_timeout(self.recv_timeout) {
+                Ok(msg) => {
+                    return Err(DappleError::ChannelProtocol {
+                        stage: self.stage,
+                        replica: self.replica,
+                        detail: format!(
+                            "trailing message (micro-batch {}, {} rows) on the {side} \
+                             channel after the schedule completed",
+                            msg.micro, msg.data.rows
+                        ),
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    // A peer still holds a sender long past schedule
+                    // completion: it is stuck.
+                    return Err(DappleError::Stalled {
+                        stage: self.stage,
+                        replica: self.replica,
+                        step: self.script.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends the row overlaps of a step's output, applying an injected
+    /// drop (swallow) or duplicate (send twice) fault.
+    fn send_with_fault(
+        &self,
+        fault: Option<FaultKind>,
+        txs: &[Sender<Msg>],
+        peer_rows: &[Range<usize>],
+        micro: usize,
+        data: &Tensor,
+        idx: usize,
+    ) -> Result<()> {
+        let sends = match fault {
+            Some(FaultKind::DropMessage) => 0,
+            Some(FaultKind::DuplicateMessage) => 2,
+            _ => 1,
+        };
+        for _ in 0..sends {
+            self.send_overlaps(txs, peer_rows, micro, data, idx)?;
+        }
+        Ok(())
+    }
+
+    /// Sends the row overlap between `my_rows` and each peer's rows.
+    fn send_overlaps(
+        &self,
+        txs: &[Sender<Msg>],
+        peer_rows: &[Range<usize>],
+        micro: usize,
+        data: &Tensor,
+        idx: usize,
+    ) -> Result<()> {
+        for (tx, peer) in txs.iter().zip(peer_rows) {
+            let lo = self.my_rows.start.max(peer.start);
+            let hi = self.my_rows.end.min(peer.end);
+            if lo >= hi {
+                continue;
+            }
+            // Convert to local row indices within `data`.
+            let local = (lo - self.my_rows.start)..(hi - self.my_rows.start);
+            tx.send(Msg {
+                micro,
+                row0: lo,
+                data: data.slice_rows(local),
+            })
+            .map_err(|_| DappleError::ChannelClosed {
+                stage: self.stage,
+                replica: self.replica,
+                step: idx,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Receives parts until rows `my_rows` of micro-batch `micro` are
+    /// covered, then assembles them in row order. Every wait is bounded
+    /// by the shared deadline `recv_timeout` from entry.
+    fn recv_rows(
+        &self,
+        side: RxSide,
+        buf: &mut HashMap<usize, Vec<Msg>>,
+        micro: usize,
+        idx: usize,
+    ) -> Result<Tensor> {
+        let rx = match side {
+            RxSide::Forward => self.rx_f.as_ref().expect("fwd channel"),
+            RxSide::Backward => self.rx_b.as_ref().expect("bwd channel"),
+        };
+        let want = self.my_rows.len();
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            let have: usize = buf
+                .get(&micro)
+                .map(|parts| parts.iter().map(|p| p.data.rows).sum())
+                .unwrap_or(0);
+            if have == want {
+                let mut parts = buf.remove(&micro).expect("parts present");
+                parts.sort_by_key(|p| p.row0);
+                let tensors: Vec<Tensor> = parts.into_iter().map(|p| p.data).collect();
+                return Ok(Tensor::concat_rows(&tensors));
+            }
+            if have > want {
+                return Err(DappleError::ChannelProtocol {
+                    stage: self.stage,
+                    replica: self.replica,
+                    detail: format!("micro-batch {micro} received {have} rows, expected {want}"),
+                });
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(msg) => buf.entry(msg.micro).or_default().push(msg),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(DappleError::Stalled {
+                        stage: self.stage,
+                        replica: self.replica,
+                        step: idx,
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(DappleError::ChannelClosed {
+                        stage: self.stage,
+                        replica: self.replica,
+                        step: idx,
+                    });
+                }
+            }
         }
     }
+}
+
+/// Which boundary channel a receive targets.
+#[derive(Clone, Copy)]
+enum RxSide {
+    Forward,
+    Backward,
 }
 
 /// Forward through a stage's layers, collecting caches.
@@ -434,53 +807,36 @@ fn backward_stage(
     cur
 }
 
-/// Sends the row overlap between `my_rows` and each peer's rows.
-fn send_overlaps(
-    txs: &[Sender<Msg>],
-    peer_rows: &[Range<usize>],
-    my_rows: &Range<usize>,
-    micro: usize,
-    data: &Tensor,
-) {
-    for (tx, peer) in txs.iter().zip(peer_rows) {
-        let lo = my_rows.start.max(peer.start);
-        let hi = my_rows.end.min(peer.end);
-        if lo >= hi {
-            continue;
-        }
-        // Convert to local row indices within `data`.
-        let local = (lo - my_rows.start)..(hi - my_rows.start);
-        tx.send(Msg {
-            micro,
-            row0: lo,
-            data: data.slice_rows(local),
-        })
-        .expect("receiver alive");
+/// Adds a micro-batch's contribution into the running accumulator.
+fn merge_contribution(grads: &mut [DenseGrads], contrib: &[DenseGrads]) {
+    for (g, c) in grads.iter_mut().zip(contrib) {
+        g.accumulate(c);
     }
 }
 
-/// Receives parts until rows `want` of micro-batch `micro` are covered,
-/// then assembles them in row order.
-fn recv_rows(
-    rx: &Receiver<Msg>,
-    buf: &mut HashMap<usize, Vec<Msg>>,
-    micro: usize,
-    want: Range<usize>,
-) -> Tensor {
-    loop {
-        let have: usize = buf
-            .get(&micro)
-            .map(|parts| parts.iter().map(|p| p.data.rows).sum())
-            .unwrap_or(0);
-        if have == want.len() {
-            let mut parts = buf.remove(&micro).expect("parts present");
-            parts.sort_by_key(|p| p.row0);
-            let tensors: Vec<Tensor> = parts.into_iter().map(|p| p.data).collect();
-            return Tensor::concat_rows(&tensors);
+/// Number of NaN/Inf values across a gradient contribution.
+fn count_non_finite(contrib: &[DenseGrads]) -> usize {
+    contrib
+        .iter()
+        .map(|g| {
+            g.dw.data.iter().filter(|v| !v.is_finite()).count()
+                + g.db.iter().filter(|v| !v.is_finite()).count()
+        })
+        .sum()
+}
+
+/// Replaces NaN/Inf values with zero, returning how many were replaced.
+fn zero_non_finite(contrib: &mut [DenseGrads]) -> usize {
+    let mut zeroed = 0usize;
+    for g in contrib {
+        for v in g.dw.data.iter_mut().chain(g.db.iter_mut()) {
+            if !v.is_finite() {
+                *v = 0.0;
+                zeroed += 1;
+            }
         }
-        let msg = rx.recv().expect("sender alive");
-        buf.entry(msg.micro).or_default().push(msg);
     }
+    zeroed
 }
 
 #[cfg(test)]
@@ -534,6 +890,8 @@ mod tests {
                     lr: 0.1,
                     max_in_flight: usize::MAX,
                     loss: LossKind::Mse,
+                    recv_timeout: Duration::from_secs(5),
+                    nan_policy: NanPolicy::AbortStep,
                 };
                 let trainer = PipelineTrainer::new(model.clone(), cfg).unwrap();
                 let (loss, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -562,6 +920,8 @@ mod tests {
             lr: 0.1,
             max_in_flight: usize::MAX,
             loss: LossKind::Mse,
+            recv_timeout: Duration::from_secs(5),
+            nan_policy: NanPolicy::AbortStep,
         };
         let trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (_, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -585,6 +945,8 @@ mod tests {
                 lr: 0.1,
                 max_in_flight: usize::MAX,
                 loss: LossKind::Mse,
+                recv_timeout: Duration::from_secs(5),
+                nan_policy: NanPolicy::AbortStep,
             };
             let trainer = PipelineTrainer::new(model.clone(), cfg).unwrap();
             let (_, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -634,6 +996,8 @@ mod tests {
             lr: 0.1,
             max_in_flight: 1,
             loss: LossKind::Mse,
+            recv_timeout: Duration::from_secs(5),
+            nan_policy: NanPolicy::AbortStep,
         };
         let trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (_, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -653,6 +1017,10 @@ mod tests {
         #[allow(clippy::single_range_in_vec_init)] // one stage covering 0..6
         let mut bad = EngineConfig::straight(vec![0..6], 2, 0.1);
         bad.replication = vec![0];
+        assert!(PipelineTrainer::new(model.clone(), bad).is_err());
+        // Zero receive timeout would make every wait fail immediately.
+        let mut bad = EngineConfig::straight(vec![0..2, 2..4, 4..6], 2, 0.1);
+        bad.recv_timeout = Duration::ZERO;
         assert!(PipelineTrainer::new(model.clone(), bad).is_err());
         // Batch not divisible by micro-batches.
         #[allow(clippy::single_range_in_vec_init)] // one stage covering 0..6
@@ -686,6 +1054,8 @@ mod tests {
             lr: 0.5,
             max_in_flight: usize::MAX,
             loss: LossKind::SoftmaxXent,
+            recv_timeout: Duration::from_secs(5),
+            nan_policy: NanPolicy::AbortStep,
         };
         let mut trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (loss, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -720,23 +1090,70 @@ mod tests {
         assert!(adam_last < sgd_last, "adam {adam_last} vs sgd {sgd_last}");
     }
 
-    /// Failure injection: a worker hitting a shape fault mid-pipeline
-    /// must tear the whole step down with a panic (dropped channels
-    /// cascade), never deadlock the remaining stage threads.
+    /// A genuine worker bug (here: a shape fault in the loss computation)
+    /// must surface as a structured `WorkerPanicked` error — not a panic
+    /// in the coordinator, and never a hang.
     #[test]
-    fn worker_fault_cascades_instead_of_hanging() {
+    fn worker_fault_is_reported_not_propagated() {
         // Last stage's layer output width (3) will not match the target
         // width (2), so its loss computation asserts during Bw(0) while
         // other workers are mid-schedule.
         let model = model6();
-        let cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+        let mut cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+        cfg.recv_timeout = Duration::from_millis(500);
         let trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (x, _) = data::regression_batch(24, 5, 3, 9);
         let bad_t = crate::tensor::Tensor::zeros(24, 2);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = trainer.step_grads(&x, &bad_t);
-        }));
-        assert!(result.is_err(), "shape fault must panic, not hang");
+        match trainer.step_grads(&x, &bad_t) {
+            Err(DappleError::WorkerPanicked { stage, .. }) => assert_eq!(stage, 2),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    /// An injected panic is reported with its payload and coordinates,
+    /// and the trainer remains usable for a clean step afterwards.
+    #[test]
+    fn injected_panic_is_structured_and_recoverable() {
+        let model = model6();
+        let mut cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+        cfg.recv_timeout = Duration::from_millis(500);
+        let mut trainer = PipelineTrainer::new(model, cfg).unwrap();
+        let (x, t) = data::regression_batch(24, 5, 3, 9);
+        let plan = FaultPlan::new().with_fault(1, 0, 2, FaultKind::Panic);
+        match trainer.step_grads_with_faults(&x, &t, &plan) {
+            Err(DappleError::WorkerPanicked {
+                stage,
+                replica,
+                message,
+            }) => {
+                assert_eq!((stage, replica), (1, 0));
+                assert!(message.contains("injected panic"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The model was not touched; a clean step still works.
+        trainer.train_step(&x, &t).unwrap();
+    }
+
+    /// An empty fault plan goes through the identical code path and
+    /// produces bit-identical results to the plain entry point.
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let model = model6();
+        let cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+        let trainer = PipelineTrainer::new(model, cfg).unwrap();
+        let (x, t) = data::regression_batch(24, 5, 3, 9);
+        let (loss_a, grads_a) = trainer.step_grads(&x, &t).unwrap();
+        let out = trainer
+            .step_grads_with_faults(&x, &t, &FaultPlan::new())
+            .unwrap();
+        assert_eq!(loss_a.to_bits(), out.loss.to_bits());
+        assert_eq!(out.skipped_micro_batches, 0);
+        assert_eq!(out.zeroed_values, 0);
+        for (a, b) in grads_a.iter().zip(&out.grads) {
+            let (fa, fb) = (a.to_flat(), b.to_flat());
+            assert!(fa.iter().zip(&fb).all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
     }
 
     /// Micro-batch slice not divisible by a stage's replication.
@@ -752,6 +1169,8 @@ mod tests {
             lr: 0.1,
             max_in_flight: usize::MAX,
             loss: LossKind::Mse,
+            recv_timeout: Duration::from_secs(5),
+            nan_policy: NanPolicy::AbortStep,
         };
         let trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (x, t) = data::regression_batch(24, 5, 3, 2); // mb = 6, r = 5

@@ -40,6 +40,8 @@ fn main() {
         lr,
         max_in_flight: usize::MAX,
         loss: dapple::engine::LossKind::Mse,
+        recv_timeout: std::time::Duration::from_secs(5),
+        nan_policy: dapple::engine::NanPolicy::AbortStep,
     };
     let mut pipe = PipelineTrainer::new(MlpModel::new(&dims, 7), straight).unwrap();
 
@@ -53,6 +55,8 @@ fn main() {
         lr,
         max_in_flight: usize::MAX,
         loss: dapple::engine::LossKind::Mse,
+        recv_timeout: std::time::Duration::from_secs(5),
+        nan_policy: dapple::engine::NanPolicy::AbortStep,
     };
     let mut hyb = PipelineTrainer::new(MlpModel::new(&dims, 7), hybrid).unwrap();
 

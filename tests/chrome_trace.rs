@@ -1,0 +1,328 @@
+//! The Chrome-trace export is real JSON. A minimal recursive-descent
+//! parser (no dependencies) parses `to_chrome_trace` output from an
+//! actual simulation and checks that every simulated task appears as a
+//! complete-event object with the documented fields.
+
+use dapple::cluster::Cluster;
+use dapple::core::{Bytes, DeviceId, Plan, StagePlan};
+use dapple::model::synthetic;
+use dapple::planner::CostModel;
+use dapple::profiler::{MemoryModel, ModelProfile};
+use dapple::sim::{to_chrome_trace, KPolicy, PipelineSim, Schedule, SimConfig, SimResult};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_array(&self) -> &[Json] {
+        match self {
+            Json::Array(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+    fn as_object(&self) -> &BTreeMap<String, Json> {
+        match self {
+            Json::Object(m) => m,
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+    fn as_str(&self) -> &str {
+        match self {
+            Json::String(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+    fn as_f64(&self) -> f64 {
+        match self {
+            Json::Number(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char, self.pos, self.bytes[self.pos] as char
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                other => return Err(format!("expected ',' or '}}', found {:?}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {:?}", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                        }
+                        other => return Err(format!("bad escape {:?}", other as char)),
+                    }
+                }
+                _ => out.push(b as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Number)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Building a real simulation run.
+// ---------------------------------------------------------------------
+
+fn simulate(schedule: Schedule) -> SimResult {
+    let cluster = Cluster::config_b(2);
+    let graph = synthetic::uniform(4, 100.0, Bytes::mb(10.0), Bytes::mb(1.0));
+    let profile = ModelProfile::profile(&graph, &cluster.device);
+    let cm = CostModel::new(
+        &profile,
+        &cluster,
+        MemoryModel::new(dapple::model::OptimizerKind::Adam),
+        8,
+    );
+    let plan = Plan::new(vec![
+        StagePlan::new(0..2, vec![DeviceId(0)]),
+        StagePlan::new(2..4, vec![DeviceId(1)]),
+    ]);
+    PipelineSim::new(&cm, &plan).run(SimConfig {
+        micro_batches: 4,
+        schedule,
+        recompute: false,
+    })
+}
+
+#[test]
+fn chrome_trace_is_valid_json_covering_every_task() {
+    for schedule in [
+        Schedule::GPipe,
+        Schedule::Dapple(KPolicy::PA),
+        Schedule::Dapple(KPolicy::PB),
+    ] {
+        let run = simulate(schedule);
+        let text = to_chrome_trace(&run);
+        let root = Parser::parse(&text)
+            .unwrap_or_else(|e| panic!("{schedule:?}: invalid JSON: {e}\n{text}"));
+
+        let events = root.as_array();
+        assert_eq!(
+            events.len(),
+            run.tasks.len(),
+            "{schedule:?}: one event per simulated task"
+        );
+        for (event, task) in events.iter().zip(&run.tasks) {
+            let obj = event.as_object();
+            for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+                assert!(
+                    obj.contains_key(key),
+                    "{schedule:?}: missing {key:?} in {obj:?}"
+                );
+            }
+            assert_eq!(obj["ph"].as_str(), "X", "complete events only");
+            assert_eq!(obj["pid"].as_f64() as usize, task.stage, "pid is the stage");
+            assert!(
+                (obj["ts"].as_f64() - task.start_us).abs() < 1e-3,
+                "{schedule:?}: ts {} vs start {}",
+                obj["ts"].as_f64(),
+                task.start_us
+            );
+            let dur = task.end_us - task.start_us;
+            assert!(
+                (obj["dur"].as_f64() - dur).abs() < 1e-3,
+                "{schedule:?}: dur {} vs {}",
+                obj["dur"].as_f64(),
+                dur
+            );
+            assert!(!obj["name"].as_str().is_empty());
+            assert!(
+                ["forward", "backward", "comm", "allreduce"].contains(&obj["cat"].as_str()),
+                "{schedule:?}: unexpected cat {:?}",
+                obj["cat"].as_str()
+            );
+        }
+    }
+}
+
+#[test]
+fn json_parser_rejects_malformed_input() {
+    for bad in [
+        "",
+        "[",
+        "[1,]",
+        "{\"a\":}",
+        "[1] trailing",
+        "{\"a\":1,\"a\":2}",
+        "\"unterminated",
+        "[01x]",
+    ] {
+        assert!(Parser::parse(bad).is_err(), "should reject {bad:?}");
+    }
+    let ok = Parser::parse("[{\"a\": [1, -2.5e3, true, null, \"x\\n\"]}]").unwrap();
+    assert_eq!(ok.as_array().len(), 1);
+}

@@ -1,0 +1,96 @@
+//! Property: with an empty fault plan the pipeline runtime is bit-exact
+//! deterministic. For random stage splits, replication factors,
+//! micro-batch counts, schedules and in-flight caps, repeated steps on
+//! the same trainer produce bit-identical losses and gradients — and the
+//! fault-injection entry point with an empty plan is the identity
+//! wrapper around the plain step.
+
+use dapple::engine::{
+    data, EngineConfig, FaultPlan, LossKind, MlpModel, NanPolicy, PipelineTrainer,
+};
+use dapple::sim::{KPolicy, Schedule};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const DIMS: [usize; 7] = [5, 12, 10, 8, 8, 4, 3];
+const BATCH: usize = 24;
+
+/// Stage splits of the 6-layer model, from trivial to one-layer head.
+#[allow(clippy::single_range_in_vec_init)] // a one-stage split really is vec![0..6]
+fn splits(idx: usize) -> Vec<std::ops::Range<usize>> {
+    match idx {
+        0 => vec![0..6],
+        1 => vec![0..2, 2..6],
+        2 => vec![0..3, 3..6],
+        3 => vec![0..2, 2..4, 4..6],
+        _ => vec![0..1, 1..4, 4..6],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn no_fault_steps_are_bit_identical(
+        split_idx in 0usize..5,
+        micro_idx in 0usize..6,
+        rep_bits in 0u64..64,
+        sched_idx in 0usize..3,
+        recompute_bit in 0usize..2,
+        flight_idx in 0usize..3,
+    ) {
+        let stage_bounds = splits(split_idx);
+        let micro_batches = [1usize, 2, 3, 4, 6, 8][micro_idx];
+        let rows_per_micro = BATCH / micro_batches;
+        // Replicate a stage 2-ways only when the micro-batch splits evenly.
+        let replication: Vec<usize> = (0..stage_bounds.len())
+            .map(|i| {
+                if rows_per_micro.is_multiple_of(2) && rep_bits & (1 << i) != 0 {
+                    2
+                } else {
+                    1
+                }
+            })
+            .collect();
+        let schedule = [
+            Schedule::GPipe,
+            Schedule::Dapple(KPolicy::PA),
+            Schedule::Dapple(KPolicy::PB),
+        ][sched_idx];
+        let cfg = EngineConfig {
+            stage_bounds,
+            replication,
+            schedule,
+            micro_batches,
+            recompute: recompute_bit == 1,
+            lr: 0.1,
+            max_in_flight: [1, 2, usize::MAX][flight_idx],
+            loss: LossKind::Mse,
+            recv_timeout: Duration::from_secs(5),
+            nan_policy: NanPolicy::AbortStep,
+        };
+
+        let trainer = PipelineTrainer::new(MlpModel::new(&DIMS, 77), cfg).unwrap();
+        let (x, t) = data::regression_batch(BATCH, DIMS[0], *DIMS.last().unwrap(), 9);
+
+        let (loss_a, grads_a) = trainer.step_grads(&x, &t).unwrap();
+        let (loss_b, grads_b) = trainer.step_grads(&x, &t).unwrap();
+        let empty = trainer.step_grads_with_faults(&x, &t, &FaultPlan::new()).unwrap();
+
+        prop_assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+        prop_assert_eq!(loss_a.to_bits(), empty.loss.to_bits());
+        prop_assert_eq!(empty.skipped_micro_batches, 0);
+        prop_assert_eq!(empty.zeroed_values, 0);
+        prop_assert_eq!(grads_a.len(), grads_b.len());
+        prop_assert_eq!(grads_a.len(), empty.grads.len());
+        for ((a, b), c) in grads_a.iter().zip(&grads_b).zip(&empty.grads) {
+            let fa = a.to_flat();
+            let fb = b.to_flat();
+            let fc = c.to_flat();
+            prop_assert_eq!(fa.len(), fb.len());
+            for i in 0..fa.len() {
+                prop_assert_eq!(fa[i].to_bits(), fb[i].to_bits());
+                prop_assert_eq!(fa[i].to_bits(), fc[i].to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Exhaustive fault-matrix coverage of the pipeline runtime.
+//!
+//! Every fault kind is injected at every `(stage, step)` coordinate of a
+//! 3-stage / 4-micro-batch pipeline. Each injection must surface as a
+//! structured [`DappleError`] — promptly, never as a hang or an abort —
+//! and the trainer must complete a clean training step immediately
+//! afterwards (the failed step leaves the model untouched).
+
+use dapple::engine::{
+    data, EngineConfig, FaultKind, FaultPlan, MlpModel, NanPolicy, PipelineTrainer,
+};
+use dapple::sim::schedule::{stage_order, step_index_of, Step};
+use dapple::sim::{KPolicy, Schedule};
+use dapple_core::DappleError;
+use std::time::{Duration, Instant};
+
+const STAGES: usize = 3;
+const MICRO: usize = 4;
+const RECV_TIMEOUT: Duration = Duration::from_millis(100);
+/// Long enough that every waiter times out before the stalled worker
+/// resumes, with margin over the shutdown drains of clean workers.
+const STALL: Duration = Duration::from_millis(500);
+
+fn model6() -> MlpModel {
+    MlpModel::new(&[5, 12, 10, 8, 8, 4, 3], 77)
+}
+
+fn cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], MICRO, 0.1);
+    cfg.recv_timeout = RECV_TIMEOUT;
+    cfg
+}
+
+/// Whether `step` on `stage` sends a boundary message (forwards go
+/// downstream except from the last stage; backwards go upstream except
+/// from the first) — mirrors the plan-validation rule.
+fn sends_message(step: Step, stage: usize) -> bool {
+    match step {
+        Step::Fw(_) => stage + 1 < STAGES,
+        Step::Bw(_) => stage > 0,
+    }
+}
+
+/// Whether a fault kind at a script position can have an observable
+/// effect; unobservable injections must be rejected by plan validation.
+fn observable(kind: FaultKind, script: &[Step], stage: usize, idx: usize) -> bool {
+    match kind {
+        FaultKind::DropMessage | FaultKind::DuplicateMessage => sends_message(script[idx], stage),
+        FaultKind::Stall(_) => script[idx..].iter().any(|&s| sends_message(s, stage)),
+        FaultKind::Panic | FaultKind::NanGradient => true,
+    }
+}
+
+#[test]
+fn fault_matrix_is_structured_prompt_and_recoverable() {
+    let schedule = Schedule::Dapple(KPolicy::PA);
+    let kinds = [
+        FaultKind::Stall(STALL),
+        FaultKind::DropMessage,
+        FaultKind::DuplicateMessage,
+        FaultKind::Panic,
+        FaultKind::NanGradient,
+    ];
+    let mut trainer = PipelineTrainer::new(model6(), cfg()).unwrap();
+    let (x, t) = data::regression_batch(24, 5, 3, 9);
+
+    for kind in kinds {
+        for stage in 0..STAGES {
+            let script = stage_order(schedule, stage, STAGES, MICRO, usize::MAX);
+            for idx in 0..script.len() {
+                let plan = FaultPlan::new().with_fault(stage, 0, idx, kind);
+                let started = Instant::now();
+                let err = trainer
+                    .step_grads_with_faults(&x, &t, &plan)
+                    .expect_err(&format!("{kind:?} at stage {stage} step {idx} must fail"));
+                let elapsed = started.elapsed();
+                assert!(
+                    elapsed < Duration::from_secs(5),
+                    "{kind:?} at stage {stage} step {idx} took {elapsed:?}"
+                );
+
+                let ctx = format!("{kind:?} at stage {stage} step {idx} ({:?})", script[idx]);
+                if !observable(kind, &script, stage, idx) {
+                    assert!(
+                        matches!(err, DappleError::InvalidConfig(_)),
+                        "{ctx}: unobservable point must be rejected, got {err:?}"
+                    );
+                    continue;
+                }
+                match kind {
+                    FaultKind::Stall(_) => assert!(
+                        matches!(err, DappleError::Stalled { .. }),
+                        "{ctx}: got {err:?}"
+                    ),
+                    // The starved peer either times out on the open
+                    // channel or observes the early disconnect when the
+                    // dropping worker finishes first — both are starvation.
+                    FaultKind::DropMessage => assert!(
+                        matches!(
+                            err,
+                            DappleError::Stalled { .. } | DappleError::ChannelClosed { .. }
+                        ),
+                        "{ctx}: got {err:?}"
+                    ),
+                    FaultKind::DuplicateMessage => assert!(
+                        matches!(err, DappleError::ChannelProtocol { .. }),
+                        "{ctx}: got {err:?}"
+                    ),
+                    FaultKind::Panic => match &err {
+                        DappleError::WorkerPanicked {
+                            stage: st,
+                            replica,
+                            message,
+                        } => {
+                            assert_eq!((*st, *replica), (stage, 0), "{ctx}");
+                            assert!(message.contains("injected panic"), "{ctx}: {message}");
+                        }
+                        other => panic!("{ctx}: got {other:?}"),
+                    },
+                    FaultKind::NanGradient => assert!(
+                        matches!(err, DappleError::NonFinite { .. }),
+                        "{ctx}: got {err:?}"
+                    ),
+                }
+
+                // The failed step must not have corrupted the trainer: a
+                // clean step right after succeeds and moves the model.
+                let stats = trainer.train_step(&x, &t).expect("clean step after fault");
+                assert!(stats.loss.is_finite(), "{ctx}: clean loss non-finite");
+            }
+        }
+    }
+}
+
+/// The same plan on the same trainer yields the same structured error —
+/// fault injection is deterministic, not merely "some error eventually".
+#[test]
+fn repeated_injection_reproduces_the_same_error() {
+    let trainer = PipelineTrainer::new(model6(), cfg()).unwrap();
+    let (x, t) = data::regression_batch(24, 5, 3, 9);
+    let bw2 = step_index_of(
+        Schedule::Dapple(KPolicy::PA),
+        1,
+        STAGES,
+        MICRO,
+        usize::MAX,
+        Step::Bw(2),
+    )
+    .unwrap();
+    for kind in [FaultKind::Panic, FaultKind::NanGradient] {
+        let plan = FaultPlan::new().with_fault(1, 0, bw2, kind);
+        let a = trainer.step_grads_with_faults(&x, &t, &plan).unwrap_err();
+        let b = trainer.step_grads_with_faults(&x, &t, &plan).unwrap_err();
+        assert_eq!(a, b, "{kind:?} must reproduce identically");
+    }
+}
+
+/// `SkipMicroBatch`: a poisoned forward propagates to every stage, each
+/// drops exactly that micro-batch's contribution, and the step succeeds
+/// with finite results.
+#[test]
+fn skip_policy_drops_the_poisoned_micro_batch() {
+    let mut config = cfg();
+    config.nan_policy = NanPolicy::SkipMicroBatch;
+    let trainer = PipelineTrainer::new(model6(), config).unwrap();
+    let (x, t) = data::regression_batch(24, 5, 3, 9);
+    let clean = trainer
+        .step_grads_with_faults(&x, &t, &FaultPlan::new())
+        .unwrap();
+
+    let fw1 = step_index_of(
+        Schedule::Dapple(KPolicy::PA),
+        0,
+        STAGES,
+        MICRO,
+        usize::MAX,
+        Step::Fw(1),
+    )
+    .unwrap();
+    let plan = FaultPlan::new().with_fault(0, 0, fw1, FaultKind::NanGradient);
+    let out = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+    // Every stage detects the poisoned micro-batch and skips it once.
+    assert_eq!(out.skipped_micro_batches, STAGES);
+    assert_eq!(out.zeroed_values, 0);
+    assert!(out.loss.is_finite());
+    assert!(out.loss < clean.loss, "one micro-batch's loss is missing");
+    for g in &out.grads {
+        assert!(g.to_flat().iter().all(|v| v.is_finite()));
+    }
+}
+
+/// `ZeroAndWarn`: non-finite values are replaced and counted, the step
+/// succeeds, and the result stays finite.
+#[test]
+fn zero_policy_repairs_and_counts() {
+    let mut config = cfg();
+    config.nan_policy = NanPolicy::ZeroAndWarn;
+    let trainer = PipelineTrainer::new(model6(), config).unwrap();
+    let (x, t) = data::regression_batch(24, 5, 3, 9);
+
+    let bw3 = step_index_of(
+        Schedule::Dapple(KPolicy::PA),
+        1,
+        STAGES,
+        MICRO,
+        usize::MAX,
+        Step::Bw(3),
+    )
+    .unwrap();
+    let plan = FaultPlan::new().with_fault(1, 0, bw3, FaultKind::NanGradient);
+    let out = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+    // Stage 1's contribution is poisoned directly; the NaN loss gradient
+    // it sends upstream poisons stage 0 as well. Stage 2 is untouched.
+    assert!(out.zeroed_values > 0);
+    assert_eq!(out.skipped_micro_batches, 0);
+    assert!(out.loss.is_finite());
+    for g in &out.grads {
+        assert!(g.to_flat().iter().all(|v| v.is_finite()));
+    }
+}
+
+/// Fault injection composes with stage replication: coordinates select
+/// one replica, and the error carries them back.
+#[test]
+fn faults_target_individual_replicas() {
+    let mut config = cfg();
+    config.stage_bounds = vec![0..3, 3..6];
+    config.replication = vec![2, 1];
+    let trainer = PipelineTrainer::new(model6(), config).unwrap();
+    let (x, t) = data::regression_batch(24, 5, 3, 9);
+    let plan = FaultPlan::new().with_fault(0, 1, 0, FaultKind::Panic);
+    match trainer.step_grads_with_faults(&x, &t, &plan) {
+        Err(DappleError::WorkerPanicked { stage, replica, .. }) => {
+            assert_eq!((stage, replica), (0, 1));
+        }
+        other => panic!("expected WorkerPanicked on replica 1, got {other:?}"),
+    }
+    // Out-of-range replica is rejected up front.
+    let bad = FaultPlan::new().with_fault(1, 1, 0, FaultKind::Panic);
+    assert!(matches!(
+        trainer.step_grads_with_faults(&x, &t, &bad),
+        Err(DappleError::InvalidConfig(_))
+    ));
+}

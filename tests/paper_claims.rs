@@ -178,6 +178,100 @@ fn dapple_plans_beat_pipedream_plans() {
     }
 }
 
+/// Debug-profile counterparts of the release-only planner claims above:
+/// the same profiler -> planner -> simulator path on a scaled-down BERT
+/// (8 planning units instead of 48), fast enough for unoptimized builds
+/// so `cargo test` exercises the planner in every profile.
+mod debug_scale {
+    use super::*;
+
+    fn small_bert() -> dapple::model::ModelSpec {
+        let mut spec = zoo::bert(8);
+        spec.global_batch = 16;
+        spec
+    }
+
+    /// The planner handles the small model on the hierarchical config and
+    /// its plan simulates to a finite, productive timeline.
+    #[test]
+    fn small_bert_plans_and_simulates_on_config_a() {
+        let cluster = Cluster::config_a(1);
+        let spec = small_bert();
+        let s = plan_for(&spec, &cluster);
+        assert!(s.plan.num_stages() >= 1, "{}", s.plan);
+        assert!(s.latency_us > 0.0);
+
+        let profile = ModelProfile::profile(&spec.graph, &cluster.device);
+        let cm = CostModel::new(
+            &profile,
+            &cluster,
+            MemoryModel::new(spec.optimizer),
+            spec.global_batch,
+        );
+        let run = PipelineSim::new(&cm, &s.plan).run(SimConfig {
+            micro_batches: 4,
+            schedule: Schedule::Dapple(KPolicy::PA),
+            recompute: false,
+        });
+        assert!(!run.tasks.is_empty());
+        assert!(run.throughput > 0.0);
+        assert!(run.makespan_us > 0.0);
+    }
+
+    /// Fig. 13 direction at debug scale: the DAPPLE plan is no slower
+    /// than PipeDream's plan under the synchronous cost model.
+    #[test]
+    fn small_bert_dapple_plan_beats_pipedream() {
+        let cluster = Cluster::config_b(4);
+        let spec = small_bert();
+        let profile = ModelProfile::profile(&spec.graph, &cluster.device);
+        let cm = CostModel::new(
+            &profile,
+            &cluster,
+            MemoryModel::new(spec.optimizer),
+            spec.global_batch,
+        );
+        let da = plan_for(&spec, &cluster);
+        let pd = dapple::planner::pipedream::plan(&cm, spec.profile_batch as f64).expect("pd plan");
+        let pd_latency = cm.evaluate(&pd.stages, false).total_us();
+        assert!(
+            da.latency_us <= pd_latency * 1.001,
+            "DAPPLE {} vs PipeDream {}",
+            da.latency_us,
+            pd_latency
+        );
+    }
+
+    /// Table VI direction at debug scale: DAPPLE peak memory stays flat
+    /// in the micro-batch count while GPipe's grows.
+    #[test]
+    fn small_bert_dapple_memory_flat_in_micro_batches() {
+        let cluster = Cluster::config_b(2);
+        let spec = small_bert();
+        let profile = ModelProfile::profile(&spec.graph, &cluster.device);
+        let mm = MemoryModel::new(spec.optimizer);
+        let plan = Plan::new(vec![
+            StagePlan::new(0..4, vec![DeviceId(0)]),
+            StagePlan::new(4..8, vec![DeviceId(1)]),
+        ]);
+        let run = |m: usize, schedule| {
+            let cm = CostModel::new(&profile, &cluster, mm, 2 * m);
+            PipelineSim::new(&cm, &plan).run(SimConfig {
+                micro_batches: m,
+                schedule,
+                recompute: false,
+            })
+        };
+        let gp2 = run(2, Schedule::GPipe);
+        let gp8 = run(8, Schedule::GPipe);
+        let da2 = run(2, Schedule::Dapple(KPolicy::PA));
+        let da8 = run(8, Schedule::Dapple(KPolicy::PA));
+        assert!(gp8.peak_memory_max() > gp2.peak_memory_max());
+        assert_eq!(da8.peak_memory_max(), da2.peak_memory_max());
+        assert!(da8.peak_memory_max() < gp8.peak_memory_max());
+    }
+}
+
 /// Re-computation composes with DAPPLE scheduling for further savings
 /// ("about 20% of device memory on the basis of re-computation").
 #[test]

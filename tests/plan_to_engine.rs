@@ -22,6 +22,8 @@ fn to_engine_config(plan: &dapple::core::Plan, micro_batches: usize) -> EngineCo
         lr: 0.2,
         max_in_flight: usize::MAX,
         loss: dapple::engine::LossKind::Mse,
+        recv_timeout: std::time::Duration::from_secs(5),
+        nan_policy: dapple::engine::NanPolicy::AbortStep,
     }
 }
 

@@ -1,0 +1,217 @@
+//! Offline stub of `criterion`: the registration surface the workspace's
+//! benches use, with each routine executed a handful of times and a
+//! single wall-clock measurement printed. This keeps `cargo bench`
+//! compiling and the bench bodies exercised (a smoke pass), without the
+//! statistical machinery of the real crate.
+
+use std::time::Instant;
+
+/// How many times the stub invokes each routine for its one measurement.
+const STUB_ITERS: u32 = 3;
+
+/// Throughput annotation (recorded, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Standard two-part id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing harness handed to every benchmark closure.
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed small iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() / u128::from(STUB_ITERS);
+    }
+
+    /// Times `routine` against inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = 0u128;
+        for _ in 0..STUB_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total / u128::from(STUB_ITERS);
+    }
+}
+
+fn report(group: &str, name: &str, elapsed_ns: u128, throughput: Option<Throughput>) {
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    let extra = match throughput {
+        Some(Throughput::Bytes(b)) if elapsed_ns > 0 => {
+            let gib_s = b as f64 / (elapsed_ns as f64 / 1e9) / (1u64 << 30) as f64;
+            format!("  {gib_s:.2} GiB/s")
+        }
+        Some(Throughput::Elements(e)) if elapsed_ns > 0 => {
+            let elem_s = e as f64 / (elapsed_ns as f64 / 1e9);
+            format!("  {elem_s:.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("bench {label}: {:.3} ms{extra}", elapsed_ns as f64 / 1e6);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Registers and runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed_ns: 0 };
+        f(&mut b);
+        report(&self.name, &id.into(), b.elapsed_ns, self.throughput);
+        self
+    }
+
+    /// Registers and runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { elapsed_ns: 0 };
+        f(&mut b, input);
+        report(&self.name, &id.name, b.elapsed_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Registers and runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed_ns: 0 };
+        f(&mut b);
+        report("", name, b.elapsed_ns, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_routines_and_finishes() {
+        let mut c = Criterion::default();
+        let mut hits = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.throughput(Throughput::Bytes(1024));
+            group.bench_function("plain", |b| b.iter(|| hits += 1));
+            group.bench_with_input(BenchmarkId::new("param", 42), &3u32, |b, &v| {
+                b.iter_batched(|| v, |v| hits += v, BatchSize::LargeInput)
+            });
+            group.finish();
+        }
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn bench_function_on_criterion_runs() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("solo", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stub of `rayon` implementing only the combinators the
+//! workspace uses — `slice.par_iter().map(f).collect::<Vec<_>>()` and
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)` — with real
+//! parallelism: work is split into contiguous bands across
+//! `std::thread::available_parallelism()` scoped threads, and results are
+//! reassembled in order, so output is deterministic and identical to the
+//! sequential computation.
+
+/// Number of worker threads for a job of `items` independent pieces.
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    cores.min(items).max(1)
+}
+
+/// Splits `0..len` into `bands` contiguous, nearly even ranges.
+fn band_bounds(len: usize, bands: usize) -> Vec<std::ops::Range<usize>> {
+    let base = len / bands;
+    let extra = len % bands;
+    let mut out = Vec::with_capacity(bands);
+    let mut start = 0;
+    for i in 0..bands {
+        let sz = base + usize::from(i < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    out
+}
+
+/// A pending parallel iterator over a shared slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every item through `f` (in parallel at execution time).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, executed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the map across threads and gathers results in input order.
+    pub fn collect<C: FromParallelResults<R>>(self) -> C {
+        let n = self.items.len();
+        let threads = worker_count(n);
+        if threads <= 1 {
+            return C::from_ordered(self.items.iter().map(&self.f).collect());
+        }
+        let f = &self.f;
+        let mut bands: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = band_bounds(n, threads)
+                .into_iter()
+                .map(|range| {
+                    let items = &self.items[range];
+                    scope.spawn(move || items.iter().map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            for h in handles {
+                bands.push(h.join().expect("rayon-stub worker must not panic"));
+            }
+        });
+        C::from_ordered(bands.into_iter().flatten().collect())
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelResults<R> {
+    /// Builds the collection from results in input order.
+    fn from_ordered(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_ordered(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+/// A pending parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+        EnumeratedChunksMut {
+            slice: self.slice,
+            chunk: self.chunk,
+        }
+    }
+}
+
+/// Enumerated mutable chunks, executed by
+/// [`EnumeratedChunksMut::for_each`].
+pub struct EnumeratedChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<T: Send> EnumeratedChunksMut<'_, T> {
+    /// Applies `f` to every `(index, chunk)` pair across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let n_chunks = self.slice.len().div_ceil(self.chunk.max(1));
+        let threads = worker_count(n_chunks);
+        if threads <= 1 {
+            for pair in self.slice.chunks_mut(self.chunk).enumerate() {
+                f(pair);
+            }
+            return;
+        }
+        let f = &f;
+        let chunk = self.chunk;
+        std::thread::scope(|scope| {
+            let mut rest = self.slice;
+            let mut next_idx = 0usize;
+            for range in band_bounds(n_chunks, threads) {
+                let elems = (range.len() * chunk).min(rest.len());
+                let (band, tail) = rest.split_at_mut(elems);
+                rest = tail;
+                let first = next_idx;
+                next_idx += range.len();
+                scope.spawn(move || {
+                    for (j, c) in band.chunks_mut(chunk).enumerate() {
+                        f((first + j, c));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The traits/extension methods callers import.
+pub mod prelude {
+    use super::{ParChunksMut, ParIter};
+
+    /// `par_iter` on shared slices (and anything derefing to one).
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over the elements.
+        fn par_iter(&self) -> ParIter<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<'_, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over mutable chunks of `size` elements.
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut {
+                slice: self,
+                chunk: size,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = items.par_iter().map(|v| v * 2).collect();
+        assert_eq!(out, (0..1000).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_collect_handles_small_inputs() {
+        let items = [7u32];
+        let out: Vec<u32> = items.par_iter().map(|v| v + 1).collect();
+        assert_eq!(out, vec![8]);
+        let empty: [u32; 0] = [];
+        let out: Vec<u32> = empty.par_iter().map(|v| v + 1).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_sequential() {
+        let mut par = vec![0u64; 10_000];
+        let mut seq = vec![0u64; 10_000];
+        par.par_chunks_mut(13)
+            .enumerate()
+            .for_each(|(i, c)| c.iter_mut().for_each(|v| *v = i as u64));
+        for (i, c) in seq.chunks_mut(13).enumerate() {
+            c.iter_mut().for_each(|v| *v = i as u64);
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn band_bounds_cover_everything() {
+        for len in [0usize, 1, 5, 17, 100] {
+            for bands in 1..=8 {
+                let b = super::band_bounds(len, bands);
+                assert_eq!(b.len(), bands);
+                assert_eq!(b[0].start, 0);
+                assert_eq!(b[bands - 1].end, len);
+                for w in b.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stub of `serde`: marker traits plus the no-op derive macros
+//! from the sibling `serde_derive` stub. `use serde::{Serialize,
+//! Deserialize}` resolves both the traits (type namespace) and the derive
+//! macros (macro namespace), exactly as with upstream serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}
