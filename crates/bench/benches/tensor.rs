@@ -1,0 +1,52 @@
+//! Tensor micro-benchmarks: the transpose-free matmul variants used by
+//! `Dense::backward` against the materialize-a-transpose baselines they
+//! replaced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dapple_engine::Tensor;
+use std::hint::black_box;
+
+fn filled(rows: usize, cols: usize, seed: u32) -> Tensor {
+    let mut s = seed.wrapping_mul(2_654_435_761).max(1);
+    let data = (0..rows * cols)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            (s as f32 / u32::MAX as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn bench_matmul_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_variants");
+    group.sample_size(20);
+    for dim in [64usize, 128, 256] {
+        let a = filled(dim, dim, 1);
+        let b = filled(dim, dim, 2);
+        group.bench_with_input(BenchmarkId::new("matmul", dim), &dim, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("transpose_then_matmul", dim),
+            &dim,
+            |bch, _| bch.iter(|| black_box(a.transpose().matmul(&b))),
+        );
+        group.bench_with_input(BenchmarkId::new("matmul_tn", dim), &dim, |bch, _| {
+            bch.iter(|| black_box(a.matmul_tn(&b)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("matmul_then_transpose_rhs", dim),
+            &dim,
+            |bch, _| bch.iter(|| black_box(a.matmul(&b.transpose()))),
+        );
+        group.bench_with_input(BenchmarkId::new("matmul_nt", dim), &dim, |bch, _| {
+            bch.iter(|| black_box(a.matmul_nt(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul_variants);
+criterion_main!(benches);

@@ -1,0 +1,231 @@
+//! `dapple-bench` — machine-readable baseline for the per-iteration hot
+//! paths: ring AllReduce, the matmul variants used by `Dense` backward,
+//! and an end-to-end 1F1B pipeline step (with the engine's buffer-pool
+//! hit/miss counters).
+//!
+//! ```text
+//! cargo run --release -p dapple-bench --bin dapple-bench -- [--smoke] [--out PATH]
+//! ```
+//!
+//! Writes a hand-rolled JSON report (default `BENCH_2.json`): one record
+//! per measurement with iteration count, wall time and, where it makes
+//! sense, derived throughput. `--smoke` shrinks every shape so the whole
+//! run finishes in a couple of seconds — that mode exists for CI, not for
+//! comparing numbers.
+
+use dapple_engine::{data, EngineConfig, FaultPlan, MlpModel, PipelineTrainer, Tensor};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark record, rendered as a JSON object.
+struct Record {
+    group: &'static str,
+    name: String,
+    iters: u32,
+    ns_per_iter: f64,
+    /// Extra `"key": value` pairs (already JSON-formatted values).
+    extra: Vec<(&'static str, String)>,
+}
+
+/// Times `f` over `iters` iterations after one untimed warmup call.
+fn time_ns<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Deterministic pseudo-random tensor (no RNG crate in the bin target).
+fn filled(rows: usize, cols: usize, seed: u32) -> Tensor {
+    let mut s = seed.wrapping_mul(2_654_435_761).max(1);
+    let data = (0..rows * cols)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            (s as f32 / u32::MAX as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn ring_benches(smoke: bool, out: &mut Vec<Record>) {
+    let (configs, iters): (&[(usize, usize)], u32) = if smoke {
+        (&[(2, 1024), (4, 1024)], 3)
+    } else {
+        (
+            &[
+                (2, 4096),
+                (4, 4096),
+                (8, 4096),
+                (2, 65536),
+                (4, 65536),
+                (8, 65536),
+                (8, 1 << 20),
+            ],
+            10,
+        )
+    };
+    for &(ranks, len) in configs {
+        let proto: Vec<Vec<f32>> = (0..ranks)
+            .map(|r| (0..len).map(|i| (r * 31 + i) as f32 * 0.25).collect())
+            .collect();
+        let ns = time_ns(iters, || {
+            let mut bufs = proto.clone();
+            dapple_collectives::allreduce_sum(&mut bufs);
+            black_box(bufs[0][0]);
+        });
+        let bytes = (len * 4) as f64;
+        out.push(Record {
+            group: "ring_allreduce",
+            name: format!("ranks{ranks}_len{len}"),
+            iters,
+            ns_per_iter: ns,
+            extra: vec![
+                ("ranks", ranks.to_string()),
+                ("elems", len.to_string()),
+                (
+                    "gib_per_s",
+                    format!("{:.4}", bytes / ns * 1e9 / (1u64 << 30) as f64),
+                ),
+            ],
+        });
+    }
+}
+
+fn matmul_benches(smoke: bool, out: &mut Vec<Record>) {
+    let (dims, iters): (&[usize], u32) = if smoke { (&[32], 5) } else { (&[128, 256], 20) };
+    for &d in dims {
+        let a = filled(d, d, 1);
+        let b = filled(d, d, 2);
+        let runs = [
+            ("matmul", time_ns(iters, || drop(black_box(a.matmul(&b))))),
+            (
+                "transpose_then_matmul",
+                time_ns(iters, || drop(black_box(a.transpose().matmul(&b)))),
+            ),
+            (
+                "matmul_tn",
+                time_ns(iters, || drop(black_box(a.matmul_tn(&b)))),
+            ),
+            (
+                "matmul_then_transpose_rhs",
+                time_ns(iters, || drop(black_box(a.matmul(&b.transpose())))),
+            ),
+            (
+                "matmul_nt",
+                time_ns(iters, || drop(black_box(a.matmul_nt(&b)))),
+            ),
+        ];
+        for (name, ns) in runs {
+            out.push(Record {
+                group: "matmul",
+                name: format!("{name}_{d}x{d}"),
+                iters,
+                ns_per_iter: ns,
+                extra: vec![("dim", d.to_string())],
+            });
+        }
+    }
+}
+
+fn engine_benches(smoke: bool, out: &mut Vec<Record>) {
+    let (dims, batch, iters): (Vec<usize>, usize, u32) = if smoke {
+        (vec![5, 12, 10, 8, 8, 4, 3], 24, 3)
+    } else {
+        (vec![64, 256, 256, 256, 256, 128, 32], 128, 10)
+    };
+    let (x, t) = data::regression_batch(batch, dims[0], *dims.last().unwrap(), 11);
+    for (label, reuse) in [("reuse_on", true), ("reuse_off", false)] {
+        let mut cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+        cfg.buffer_reuse = reuse;
+        let trainer = PipelineTrainer::new(MlpModel::new(&dims, 3), cfg).unwrap();
+        let plan = FaultPlan::new();
+        let outcome = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+        let ns = time_ns(iters, || {
+            let out = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+            black_box(out.loss);
+        });
+        out.push(Record {
+            group: "pipeline_step",
+            name: format!("straight3_m4_{label}"),
+            iters,
+            ns_per_iter: ns,
+            extra: vec![
+                ("pool_hits", outcome.pool_hits.to_string()),
+                ("pool_misses", outcome.pool_misses.to_string()),
+            ],
+        });
+    }
+}
+
+fn render_json(mode: &str, records: &[Record]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"dapple-bench/1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.1}",
+            r.group, r.name, r.iters, r.ns_per_iter
+        );
+        for (k, v) in &r.extra {
+            let _ = write!(s, ", \"{k}\": {v}");
+        }
+        s.push_str(if i + 1 < records.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_2.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--out needs a path");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            _ => {
+                eprintln!("usage: dapple-bench [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let mut records = Vec::new();
+    eprintln!("[dapple-bench] ring allreduce ({mode})...");
+    ring_benches(smoke, &mut records);
+    eprintln!("[dapple-bench] matmul variants ({mode})...");
+    matmul_benches(smoke, &mut records);
+    eprintln!("[dapple-bench] pipeline step ({mode})...");
+    engine_benches(smoke, &mut records);
+
+    let json = render_json(mode, &records);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    for r in &records {
+        eprintln!(
+            "  {:<16} {:<32} {:>12.1} ns/iter",
+            r.group, r.name, r.ns_per_iter
+        );
+    }
+    println!("{out_path}");
+}

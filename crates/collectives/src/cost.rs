@@ -88,20 +88,22 @@ pub fn cross_stage_us(
     if senders.is_empty() || receivers.is_empty() || bytes == Bytes::ZERO {
         return 0.0;
     }
+    // Elementwise-equal sender/receiver sets: every device hands its
+    // slice to itself, so the boundary costs nothing regardless of the
+    // replication factor. (A permuted set still pays: the slices really
+    // move between devices then.)
+    if senders.len() == receivers.len() && senders.iter().zip(receivers).all(|(s, r)| s == r) {
+        return 0.0;
+    }
     // Slowest link between any sender/receiver pair.
     let mut link = &cluster.intra;
-    let mut found_inter = false;
     'outer: for &s in senders {
         for &r in receivers {
             if s != r && !cluster.same_machine(s, r) {
                 link = &cluster.inter;
-                found_inter = true;
                 break 'outer;
             }
         }
-    }
-    if !found_inter && senders.len() == 1 && receivers.len() == 1 && senders[0] == receivers[0] {
-        return 0.0;
     }
     // The fuller end moves bytes / min(senders, receivers) per device.
     let per_end = bytes.as_f64() / senders.len().min(receivers.len()) as f64;
@@ -203,6 +205,41 @@ mod tests {
         let t = cross_stage_us(Bytes::mb(26.0), &[DeviceId(0)], &[DeviceId(1)], &c);
         let expect = c.inter.latency_us + 26.0e6 / c.inter.bandwidth * 1e6;
         assert!((t - expect).abs() < 1.0);
+    }
+
+    /// Regression: consecutive stages placed on the same multi-device
+    /// set transfer nothing — every device hands its slice to itself.
+    /// The old code only recognized the singleton case, charging full
+    /// link cost to shared multi-device placements.
+    #[test]
+    fn cross_stage_same_device_set_is_free() {
+        let c = Cluster::config_a(2);
+        // Singleton self-transfer (already free before the fix).
+        assert_eq!(
+            cross_stage_us(Bytes::mb(8.0), &[DeviceId(0)], &[DeviceId(0)], &c),
+            0.0
+        );
+        // Elementwise-equal multi-device sets: also free now.
+        assert_eq!(
+            cross_stage_us(Bytes::mb(8.0), &devs(0..4), &devs(0..4), &c),
+            0.0
+        );
+        // Spanning machines changes nothing: the data never moves.
+        assert_eq!(
+            cross_stage_us(Bytes::mb(8.0), &devs(0..16), &devs(0..16), &c),
+            0.0
+        );
+        // A permuted set is NOT free: slices really move between devices.
+        let permuted = cross_stage_us(
+            Bytes::mb(8.0),
+            &[DeviceId(0), DeviceId(1)],
+            &[DeviceId(1), DeviceId(0)],
+            &c,
+        );
+        assert!(permuted > 0.0);
+        // Overlapping-but-different sets still pay as well.
+        let shifted = cross_stage_us(Bytes::mb(8.0), &devs(0..4), &devs(1..5), &c);
+        assert!(shifted > 0.0);
     }
 
     #[test]

@@ -71,27 +71,41 @@ pub fn allreduce_sum(buffers: &mut [Vec<f32>]) {
             let rx = receivers[rank].take().expect("receiver wired once");
             let bounds = bounds.clone();
             scope.spawn(move || {
+                // One scratch buffer per rank that circulates ownership
+                // around the ring: each step loads the outgoing chunk
+                // into the local scratch, sends the `Vec` itself, and
+                // adopts the neighbor's incoming buffer as the next
+                // step's scratch. Capacity is the largest chunk (chunk
+                // sizes differ by at most one), so none of the 2(n-1)
+                // steps reallocates — one allocation per rank total,
+                // instead of one per step.
+                let max_chunk = bounds.iter().map(std::ops::Range::len).max().unwrap_or(0);
+                let mut scratch: Vec<f32> = Vec::with_capacity(max_chunk);
                 // Phase 1: reduce-scatter. In step s, rank r sends chunk
                 // (r - s) and accumulates incoming chunk (r - s - 1).
                 for s in 0..n - 1 {
                     let send_idx = (rank + n - s) % n;
                     let recv_idx = (rank + n - s - 1) % n;
-                    tx.send(buf[bounds[send_idx].clone()].to_vec())
-                        .expect("ring peer alive");
+                    scratch.clear();
+                    scratch.extend_from_slice(&buf[bounds[send_idx].clone()]);
+                    tx.send(scratch).expect("ring peer alive");
                     let incoming = rx.recv().expect("ring peer alive");
                     for (dst, src) in buf[bounds[recv_idx].clone()].iter_mut().zip(&incoming) {
                         *dst += *src;
                     }
+                    scratch = incoming;
                 }
                 // Phase 2: all-gather. Rank r owns chunk (r + 1); in step s
                 // it sends chunk (r + 1 - s) and installs chunk (r - s).
                 for s in 0..n - 1 {
                     let send_idx = (rank + 1 + n - s) % n;
                     let recv_idx = (rank + n - s) % n;
-                    tx.send(buf[bounds[send_idx].clone()].to_vec())
-                        .expect("ring peer alive");
+                    scratch.clear();
+                    scratch.extend_from_slice(&buf[bounds[send_idx].clone()]);
+                    tx.send(scratch).expect("ring peer alive");
                     let incoming = rx.recv().expect("ring peer alive");
                     buf[bounds[recv_idx].clone()].copy_from_slice(&incoming);
+                    scratch = incoming;
                 }
             });
         }

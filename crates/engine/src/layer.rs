@@ -53,15 +53,6 @@ pub struct Dense {
     pub act: Activation,
 }
 
-/// Forward cache needed by the backward pass.
-#[derive(Debug, Clone)]
-pub struct DenseCache {
-    /// Layer input.
-    pub x: Tensor,
-    /// Layer output (post-activation).
-    pub y: Tensor,
-}
-
 /// Parameter gradients of one layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseGrads {
@@ -128,28 +119,40 @@ impl Dense {
         self.w.cols
     }
 
-    /// Forward pass, returning the output and the backward cache.
-    pub fn forward(&self, x: &Tensor) -> (Tensor, DenseCache) {
+    /// Forward pass: `y = act(x W + b)`.
+    ///
+    /// The backward pass takes `x` and `y` explicitly, so nothing is
+    /// cloned into a cache here — the caller keeps both tensors alive
+    /// (the hot 1F1B path stores the per-layer `y` chain once, instead
+    /// of the old `DenseCache` which duplicated every activation).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
         let mut y = x.matmul(&self.w);
         y.add_bias(&self.b);
         for v in &mut y.data {
             *v = self.act.apply(*v);
         }
-        (y.clone(), DenseCache { x: x.clone(), y })
+        y
     }
 
     /// Backward pass: input gradient and parameter gradients.
-    pub fn backward(&self, cache: &DenseCache, dy: &Tensor) -> (Tensor, DenseGrads) {
-        assert_eq!(dy.rows, cache.y.rows, "grad batch mismatch");
-        assert_eq!(dy.cols, cache.y.cols, "grad width mismatch");
-        // dz = dy * act'(y)
-        let mut dz = dy.clone();
-        for (d, y) in dz.data.iter_mut().zip(&cache.y.data) {
-            *d *= self.act.grad_from_output(*y);
+    ///
+    /// `x` and `y` are the forward input/output of this layer. `dy` is
+    /// used as in-place scratch: on return it holds `dz = dy * act'(y)`,
+    /// its original contents are destroyed — but the caller keeps the
+    /// buffer, so the boundary-message storage it arrived in can be
+    /// recycled. The matmuls run transpose-free (`matmul_tn`/`matmul_nt`),
+    /// eliminating the two explicit `transpose()` copies per call.
+    pub fn backward(&self, x: &Tensor, y: &Tensor, dy: &mut Tensor) -> (Tensor, DenseGrads) {
+        assert_eq!(dy.rows, y.rows, "grad batch mismatch");
+        assert_eq!(dy.cols, y.cols, "grad width mismatch");
+        assert_eq!(x.rows, y.rows, "cache batch mismatch");
+        // dz = dy * act'(y), in place.
+        for (d, yv) in dy.data.iter_mut().zip(&y.data) {
+            *d *= self.act.grad_from_output(*yv);
         }
-        let dw = cache.x.transpose().matmul(&dz);
-        let db = dz.col_sums();
-        let dx = dz.matmul(&self.w.transpose());
+        let dw = x.matmul_tn(dy);
+        let db = dy.col_sums();
+        let dx = dy.matmul_nt(&self.w);
         (dx, DenseGrads { dw, db })
     }
 
@@ -180,12 +183,12 @@ mod tests {
             let layer = Dense::new(3, 2, act, 42);
             let x = Tensor::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.5, 0.4, -0.1]);
             let loss = |l: &Dense, x: &Tensor| -> f32 {
-                let (y, _) = l.forward(x);
+                let y = l.forward(x);
                 y.data.iter().map(|v| v * v).sum::<f32>() * 0.5
             };
-            let (y, cache) = layer.forward(&x);
-            let dy = y.clone(); // dL/dy for L = 0.5 sum y^2
-            let (dx, grads) = layer.backward(&cache, &dy);
+            let y = layer.forward(&x);
+            let mut dy = y.clone(); // dL/dy for L = 0.5 sum y^2
+            let (dx, grads) = layer.backward(&x, &y, &mut dy);
 
             let eps = 1e-3f32;
             // Check dW numerically at a few coordinates.
@@ -223,10 +226,10 @@ mod tests {
         layer.w = Tensor::from_vec(1, 2, vec![1.0, -1.0]);
         layer.b = vec![0.0, 0.0];
         let x = Tensor::from_vec(1, 1, vec![2.0]); // y = [2, 0(-2 clipped)]
-        let (y, cache) = layer.forward(&x);
+        let y = layer.forward(&x);
         assert_eq!(y.data, vec![2.0, 0.0]);
-        let dy = Tensor::from_vec(1, 2, vec![1.0, 1.0]);
-        let (_, grads) = layer.backward(&cache, &dy);
+        let mut dy = Tensor::from_vec(1, 2, vec![1.0, 1.0]);
+        let (_, grads) = layer.backward(&x, &y, &mut dy);
         // The clipped unit contributes no gradient.
         assert_eq!(grads.dw.data, vec![2.0, 0.0]);
         assert_eq!(grads.db, vec![1.0, 0.0]);
@@ -236,8 +239,9 @@ mod tests {
     fn grads_flat_round_trip() {
         let layer = Dense::new(3, 4, Activation::Identity, 1);
         let x = Tensor::from_vec(2, 3, vec![1.0; 6]);
-        let (y, cache) = layer.forward(&x);
-        let (_, grads) = layer.backward(&cache, &y);
+        let y = layer.forward(&x);
+        let mut dy = y.clone();
+        let (_, grads) = layer.backward(&x, &y, &mut dy);
         let flat = grads.to_flat();
         assert_eq!(flat.len(), layer.num_params());
         let mut restored = DenseGrads::zeros_like(&layer);
@@ -249,8 +253,9 @@ mod tests {
     fn accumulate_sums_gradients() {
         let layer = Dense::new(2, 2, Activation::Identity, 3);
         let x = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
-        let (y, cache) = layer.forward(&x);
-        let (_, g1) = layer.backward(&cache, &y);
+        let y = layer.forward(&x);
+        let mut dy = y.clone();
+        let (_, g1) = layer.backward(&x, &y, &mut dy);
         let mut acc = DenseGrads::zeros_like(&layer);
         acc.accumulate(&g1);
         acc.accumulate(&g1);

@@ -5,7 +5,7 @@
 //! gradients (and therefore the same weight trajectory) as full-batch
 //! training on one device.
 
-use crate::layer::{Activation, Dense, DenseCache, DenseGrads};
+use crate::layer::{Activation, Dense, DenseGrads};
 use crate::tensor::Tensor;
 
 /// A chain of dense layers trained with mean-squared error.
@@ -66,16 +66,16 @@ impl MlpModel {
         self.layers.iter().map(Dense::num_params).sum()
     }
 
-    /// Full forward pass with caches.
-    pub fn forward(&self, x: &Tensor) -> (Tensor, Vec<DenseCache>) {
-        let mut caches = Vec::with_capacity(self.layers.len());
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            let (y, cache) = layer.forward(&cur);
-            caches.push(cache);
-            cur = y;
+    /// Full forward pass; returns the per-layer output chain. The last
+    /// element is the prediction; together with the input it is exactly
+    /// the state the backward pass needs (no separate caches).
+    pub fn forward(&self, x: &Tensor) -> Vec<Tensor> {
+        let mut ys = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let input = if i == 0 { x } else { &ys[i - 1] };
+            ys.push(layer.forward(input));
         }
-        (cur, caches)
+        ys
     }
 
     /// MSE loss and its gradient w.r.t. predictions, normalized by
@@ -95,12 +95,18 @@ impl MlpModel {
         (loss, grad)
     }
 
-    /// Backward through all layers; returns accumulated parameter grads.
-    pub fn backward(&self, caches: &[DenseCache], dy: Tensor) -> Vec<DenseGrads> {
+    /// Backward through all layers; returns per-layer parameter grads.
+    ///
+    /// `x` and `ys` are the forward input and the output chain from
+    /// [`MlpModel::forward`]; `dy` is the loss gradient w.r.t. the final
+    /// output (consumed as scratch).
+    pub fn backward(&self, x: &Tensor, ys: &[Tensor], dy: Tensor) -> Vec<DenseGrads> {
+        assert_eq!(ys.len(), self.layers.len(), "output chain length");
         let mut grads: Vec<Option<DenseGrads>> = (0..self.layers.len()).map(|_| None).collect();
         let mut cur = dy;
         for (i, layer) in self.layers.iter().enumerate().rev() {
-            let (dx, g) = layer.backward(&caches[i], &cur);
+            let input = if i == 0 { x } else { &ys[i - 1] };
+            let (dx, g) = layer.backward(input, &ys[i], &mut cur);
             grads[i] = Some(g);
             cur = dx;
         }
@@ -155,10 +161,11 @@ impl MlpModel {
         for u in 0..micro_batches {
             let xs = x.slice_rows(u * mb..(u + 1) * mb);
             let ts = target.slice_rows(u * mb..(u + 1) * mb);
-            let (pred, caches) = self.forward(&xs);
-            let (loss, dy) = crate::loss::loss_grad(loss_kind, &pred, &ts, n);
+            let ys = self.forward(&xs);
+            let pred = ys.last().expect("at least one layer");
+            let (loss, dy) = crate::loss::loss_grad(loss_kind, pred, &ts, n);
             total_loss += loss;
-            let grads = self.backward(&caches, dy);
+            let grads = self.backward(&xs, &ys, dy);
             for (a, g) in acc.iter_mut().zip(&grads) {
                 a.accumulate(g);
             }

@@ -28,7 +28,7 @@
 //! the trainer stays usable for the next step.
 
 use crate::fault::{FaultKind, FaultPlan, NanPolicy};
-use crate::layer::{Dense, DenseCache, DenseGrads};
+use crate::layer::{Dense, DenseGrads};
 use crate::loss::{loss_grad, LossKind};
 use crate::model::{MlpModel, StepStats};
 use crate::tensor::Tensor;
@@ -65,6 +65,11 @@ pub struct EngineConfig {
     /// What to do when a micro-batch's gradient contribution contains
     /// NaN/Inf values.
     pub nan_policy: NanPolicy,
+    /// Recycle boundary-message buffers through a per-worker free list
+    /// (zero steady-state allocations on sends). `false` restores the
+    /// seed allocation-per-message semantics; results are bit-identical
+    /// either way (see tests/determinism.rs).
+    pub buffer_reuse: bool,
 }
 
 impl EngineConfig {
@@ -82,6 +87,7 @@ impl EngineConfig {
             loss: LossKind::Mse,
             recv_timeout: Duration::from_secs(5),
             nan_policy: NanPolicy::AbortStep,
+            buffer_reuse: true,
         }
     }
 }
@@ -104,6 +110,10 @@ struct WorkerOut {
     skipped: usize,
     /// Values replaced under [`NanPolicy::ZeroAndWarn`].
     zeroed: usize,
+    /// Buffer-pool hits (boundary buffers served from the free list).
+    pool_hits: usize,
+    /// Buffer-pool misses (fresh allocations).
+    pool_misses: usize,
 }
 
 /// The result of one pipelined gradient computation, including what the
@@ -122,6 +132,14 @@ pub struct StepOutcome {
     /// Non-finite values replaced by [`NanPolicy::ZeroAndWarn`], summed
     /// over stage replicas.
     pub zeroed_values: usize,
+    /// Boundary buffers served from the per-worker free lists, summed
+    /// over all workers. Zero when [`EngineConfig::buffer_reuse`] is off.
+    pub pool_hits: usize,
+    /// Boundary buffers that had to be freshly allocated, summed over
+    /// all workers. With reuse on, steady-state 1F1B misses only during
+    /// pipeline warmup — the count is independent of the number of
+    /// micro-batches (asserted in tests/alloc_counts.rs).
+    pub pool_misses: usize,
 }
 
 /// The pipeline trainer: a model plus its parallelization config.
@@ -294,6 +312,7 @@ impl PipelineTrainer {
                         faults: faults.for_worker(i, p),
                         nan_policy: self.cfg.nan_policy,
                         recv_timeout: self.cfg.recv_timeout,
+                        reuse: self.cfg.buffer_reuse,
                     };
                     handles.push(scope.spawn(move || {
                         // A panicking worker (genuine bug or injected
@@ -338,6 +357,8 @@ impl PipelineTrainer {
         let mut loss = 0.0f32;
         let skipped_micro_batches = outs.iter().map(|o| o.skipped).sum();
         let zeroed_values = outs.iter().map(|o| o.zeroed).sum();
+        let pool_hits = outs.iter().map(|o| o.pool_hits).sum();
+        let pool_misses = outs.iter().map(|o| o.pool_misses).sum();
         let mut global: Vec<Option<DenseGrads>> =
             (0..self.model.num_layers()).map(|_| None).collect();
         for i in 0..s {
@@ -374,6 +395,8 @@ impl PipelineTrainer {
             grads,
             skipped_micro_batches,
             zeroed_values,
+            pool_hits,
+            pool_misses,
         })
     }
 
@@ -469,14 +492,102 @@ struct Worker<'a> {
     faults: HashMap<usize, FaultKind>,
     nan_policy: NanPolicy,
     recv_timeout: Duration,
+    /// Whether boundary buffers circulate through the free-list pool.
+    reuse: bool,
 }
 
 /// Stored state per in-flight micro-batch.
 enum Flight {
-    /// Full caches (normal mode).
-    Cached(Vec<DenseCache>),
+    /// Stage input plus the per-layer output chain (normal mode) — all
+    /// the state the backward pass needs, with no extra copies.
+    Cached { input: Tensor, ys: Vec<Tensor> },
     /// Stage input only (re-computation mode).
     InputOnly(Tensor),
+}
+
+/// Cap on free-list depth per shape: bounds pool growth on workers that
+/// recycle more buffers than they take (e.g. the last stage, whose loss
+/// gradients are produced fresh but retired into the pool).
+const POOL_CAP_PER_SHAPE: usize = 16;
+
+/// A free list of tensor buffers keyed by shape.
+///
+/// `take` hands out a recycled buffer when one is available (a *hit*)
+/// and falls back to a fresh allocation otherwise (a *miss*); `put`
+/// retires a spent tensor for reuse. Recycled contents are arbitrary:
+/// every take site must fully overwrite the buffer. With `enabled ==
+/// false`, every take allocates and every put drops — exactly the seed
+/// allocation-per-message semantics, kept selectable so the determinism
+/// suite can assert the two paths are bit-identical. In steady-state
+/// 1F1B the boundary traffic is shape-symmetric (forward activations and
+/// backward gradients cross each boundary with identical part shapes),
+/// so misses happen only during warmup.
+struct TensorPool {
+    enabled: bool,
+    free: HashMap<(usize, usize), Vec<Tensor>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl TensorPool {
+    fn new(enabled: bool) -> Self {
+        TensorPool {
+            enabled,
+            free: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A buffer of exactly `rows x cols`; contents are arbitrary.
+    fn take(&mut self, rows: usize, cols: usize) -> Tensor {
+        if let Some(t) = self.free.get_mut(&(rows, cols)).and_then(Vec::pop) {
+            self.hits += 1;
+            t
+        } else {
+            self.misses += 1;
+            Tensor::zeros(rows, cols)
+        }
+    }
+
+    /// Retires a spent tensor into the free list.
+    fn put(&mut self, t: Tensor) {
+        if !self.enabled {
+            return;
+        }
+        let slot = self.free.entry((t.rows, t.cols)).or_default();
+        if slot.len() < POOL_CAP_PER_SHAPE {
+            slot.push(t);
+        }
+    }
+}
+
+/// What a send may do with its tensor.
+enum Payload<'t> {
+    /// The caller still needs the tensor (e.g. a cached activation):
+    /// overlaps are copied into pooled buffers.
+    Keep(&'t Tensor),
+    /// The tensor is dead after the send: moved into the message when a
+    /// single peer takes all of it, recycled otherwise.
+    Give(Tensor),
+}
+
+impl Payload<'_> {
+    fn tensor(&self) -> &Tensor {
+        match self {
+            Payload::Keep(t) => t,
+            Payload::Give(t) => t,
+        }
+    }
+}
+
+/// Copies rows `src_rows` of `src` into `dst` (exactly the overlap shape).
+fn copy_rows_into(src: &Tensor, src_rows: Range<usize>, dst: &mut Tensor) {
+    debug_assert_eq!(dst.rows, src_rows.len());
+    debug_assert_eq!(dst.cols, src.cols);
+    let c = src.cols;
+    dst.data
+        .copy_from_slice(&src.data[src_rows.start * c..src_rows.end * c]);
 }
 
 impl Worker<'_> {
@@ -485,6 +596,7 @@ impl Worker<'_> {
         let mut loss = 0.0f32;
         let mut skipped = 0usize;
         let mut zeroed = 0usize;
+        let mut pool = TensorPool::new(self.reuse);
         let mut flights: HashMap<usize, Flight> = HashMap::new();
         let mut buf_f: HashMap<usize, Vec<Msg>> = HashMap::new();
         let mut buf_b: HashMap<usize, Vec<Msg>> = HashMap::new();
@@ -516,35 +628,78 @@ impl Worker<'_> {
                     let input = if self.is_first {
                         let lo = u * self.mb + self.my_rows.start;
                         let hi = u * self.mb + self.my_rows.end;
-                        self.x.slice_rows(lo..hi)
+                        let mut t = pool.take(hi - lo, self.x.cols);
+                        copy_rows_into(self.x, lo..hi, &mut t);
+                        t
                     } else {
-                        self.recv_rows(RxSide::Forward, &mut buf_f, u, idx)?
+                        self.recv_rows(RxSide::Forward, &mut buf_f, u, idx, &mut pool)?
                     };
-                    let (mut out, caches) = forward_stage(self.layers, &input);
+                    let mut ys = forward_stage(self.layers, &input);
+                    if fault == Some(FaultKind::NanGradient) {
+                        poisoned.insert(u);
+                    }
+                    if let (Some(txs), Some(next_rows)) = (&self.tx_f, &self.next_rows) {
+                        if fault == Some(FaultKind::NanGradient) {
+                            // Poison only the outgoing copy; the cached
+                            // chain stays clean (the local backward is
+                            // poisoned via `poisoned`, as before).
+                            let mut bad = ys.last().expect("non-empty stage").clone();
+                            bad.data.fill(f32::NAN);
+                            self.send_with_fault(
+                                fault,
+                                txs,
+                                next_rows,
+                                u,
+                                Payload::Give(bad),
+                                idx,
+                                &mut pool,
+                            )?;
+                        } else if self.recompute {
+                            // The chain is rebuilt at Bw, so the output
+                            // can move straight into the message.
+                            let out = ys.pop().expect("non-empty stage");
+                            self.send_with_fault(
+                                fault,
+                                txs,
+                                next_rows,
+                                u,
+                                Payload::Give(out),
+                                idx,
+                                &mut pool,
+                            )?;
+                        } else {
+                            let out = ys.last().expect("non-empty stage");
+                            self.send_with_fault(
+                                fault,
+                                txs,
+                                next_rows,
+                                u,
+                                Payload::Keep(out),
+                                idx,
+                                &mut pool,
+                            )?;
+                        }
+                    }
                     flights.insert(
                         u,
                         if self.recompute {
                             Flight::InputOnly(input)
                         } else {
-                            Flight::Cached(caches)
+                            Flight::Cached { input, ys }
                         },
                     );
-                    if fault == Some(FaultKind::NanGradient) {
-                        poisoned.insert(u);
-                        out.data.fill(f32::NAN);
-                    }
-                    if let (Some(txs), Some(next_rows)) = (&self.tx_f, &self.next_rows) {
-                        self.send_with_fault(fault, txs, next_rows, u, &out, idx)?;
-                    }
                 }
                 Step::Bw(u) => {
-                    let caches = match flights.remove(&u).expect("forward before backward") {
-                        Flight::Cached(c) => c,
-                        Flight::InputOnly(input) => forward_stage(self.layers, &input).1,
+                    let (input, ys) = match flights.remove(&u).expect("forward before backward") {
+                        Flight::Cached { input, ys } => (input, ys),
+                        Flight::InputOnly(input) => {
+                            let ys = forward_stage(self.layers, &input);
+                            (input, ys)
+                        }
                     };
                     let mut micro_loss = 0.0f32;
                     let mut dy = if self.is_last {
-                        let pred = &caches.last().expect("non-empty stage").y;
+                        let pred = ys.last().expect("non-empty stage");
                         let lo = u * self.mb + self.my_rows.start;
                         let hi = u * self.mb + self.my_rows.end;
                         let t = self.target.slice_rows(lo..hi);
@@ -552,17 +707,21 @@ impl Worker<'_> {
                         micro_loss = l;
                         dy
                     } else {
-                        self.recv_rows(RxSide::Backward, &mut buf_b, u, idx)?
+                        self.recv_rows(RxSide::Backward, &mut buf_b, u, idx, &mut pool)?
                     };
                     if fault == Some(FaultKind::NanGradient) || poisoned.contains(&u) {
                         dy.data.fill(f32::NAN);
                     }
-                    // Compute this micro-batch's contribution separately
-                    // so a poisoned one can be inspected — and skipped or
+                    // This micro-batch's contribution stays separate so a
+                    // poisoned one can be inspected — and skipped or
                     // repaired — before it contaminates the accumulator.
-                    let mut contrib: Vec<DenseGrads> =
-                        self.layers.iter().map(DenseGrads::zeros_like).collect();
-                    let dx = backward_stage(self.layers, &caches, dy, &mut contrib);
+                    let (dx, contrib, spent_gy) = backward_stage(self.layers, &input, &ys, dy);
+                    // The boundary buffers this micro-batch arrived in are
+                    // spent now; recycling them is what stocks the pool
+                    // for the sends of later micro-batches (misses happen
+                    // only during warmup).
+                    pool.put(spent_gy);
+                    pool.put(input);
                     let bad = count_non_finite(&contrib) + usize::from(!micro_loss.is_finite());
                     if bad == 0 {
                         merge_contribution(&mut grads, &contrib);
@@ -593,7 +752,19 @@ impl Worker<'_> {
                     // under a lenient policy it will detect and handle
                     // the poison in its own contribution.
                     if let (Some(txs), Some(prev_rows)) = (&self.tx_b, &self.prev_rows) {
-                        self.send_with_fault(fault, txs, prev_rows, u, &dx, idx)?;
+                        self.send_with_fault(
+                            fault,
+                            txs,
+                            prev_rows,
+                            u,
+                            Payload::Give(dx),
+                            idx,
+                            &mut pool,
+                        )?;
+                    } else {
+                        // First stage: dx is unused, but its shape equals
+                        // the first stage's input slices — recycle it.
+                        pool.put(dx);
                     }
                 }
             }
@@ -606,6 +777,8 @@ impl Worker<'_> {
             loss,
             skipped,
             zeroed,
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
         })
     }
 
@@ -665,34 +838,109 @@ impl Worker<'_> {
 
     /// Sends the row overlaps of a step's output, applying an injected
     /// drop (swallow) or duplicate (send twice) fault.
+    #[allow(clippy::too_many_arguments)] // the full routing context of one send
     fn send_with_fault(
         &self,
         fault: Option<FaultKind>,
         txs: &[Sender<Msg>],
         peer_rows: &[Range<usize>],
         micro: usize,
-        data: &Tensor,
+        payload: Payload<'_>,
         idx: usize,
+        pool: &mut TensorPool,
     ) -> Result<()> {
-        let sends = match fault {
-            Some(FaultKind::DropMessage) => 0,
-            Some(FaultKind::DuplicateMessage) => 2,
-            _ => 1,
-        };
-        for _ in 0..sends {
-            self.send_overlaps(txs, peer_rows, micro, data, idx)?;
+        match fault {
+            Some(FaultKind::DropMessage) => {
+                if let Payload::Give(t) = payload {
+                    pool.put(t);
+                }
+                Ok(())
+            }
+            Some(FaultKind::DuplicateMessage) => {
+                self.send_overlaps(
+                    txs,
+                    peer_rows,
+                    micro,
+                    Payload::Keep(payload.tensor()),
+                    idx,
+                    pool,
+                )?;
+                self.send_overlaps(txs, peer_rows, micro, payload, idx, pool)
+            }
+            _ => self.send_overlaps(txs, peer_rows, micro, payload, idx, pool),
         }
-        Ok(())
     }
 
     /// Sends the row overlap between `my_rows` and each peer's rows.
+    ///
+    /// A [`Payload::Give`] tensor whose single overlap covers all of its
+    /// rows (equal replication on both sides of the boundary) is moved
+    /// into the message — no split copy at all. Otherwise each overlap
+    /// is copied into a pooled buffer; in steady-state 1F1B every such
+    /// buffer is a recycled one, so the send path performs zero heap
+    /// allocations.
     fn send_overlaps(
+        &self,
+        txs: &[Sender<Msg>],
+        peer_rows: &[Range<usize>],
+        micro: usize,
+        payload: Payload<'_>,
+        idx: usize,
+        pool: &mut TensorPool,
+    ) -> Result<()> {
+        match payload {
+            Payload::Give(t) => {
+                if let Some((q, row0)) = self.single_full_peer(peer_rows, t.rows) {
+                    return txs[q]
+                        .send(Msg {
+                            micro,
+                            row0,
+                            data: t,
+                        })
+                        .map_err(|_| DappleError::ChannelClosed {
+                            stage: self.stage,
+                            replica: self.replica,
+                            step: idx,
+                        });
+                }
+                self.copy_send(txs, peer_rows, micro, &t, idx, pool)?;
+                pool.put(t);
+                Ok(())
+            }
+            Payload::Keep(t) => self.copy_send(txs, peer_rows, micro, t, idx, pool),
+        }
+    }
+
+    /// The peer index and absolute start row when exactly one peer
+    /// overlaps `my_rows` and that overlap covers all `rows` of the
+    /// outgoing tensor.
+    fn single_full_peer(&self, peer_rows: &[Range<usize>], rows: usize) -> Option<(usize, usize)> {
+        let mut found: Option<(usize, usize, usize)> = None;
+        for (q, peer) in peer_rows.iter().enumerate() {
+            let lo = self.my_rows.start.max(peer.start);
+            let hi = self.my_rows.end.min(peer.end);
+            if lo < hi {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some((q, lo, hi));
+            }
+        }
+        match found {
+            Some((q, lo, hi)) if hi - lo == rows => Some((q, lo)),
+            _ => None,
+        }
+    }
+
+    /// Copies each peer's overlap into a pooled buffer and sends it.
+    fn copy_send(
         &self,
         txs: &[Sender<Msg>],
         peer_rows: &[Range<usize>],
         micro: usize,
         data: &Tensor,
         idx: usize,
+        pool: &mut TensorPool,
     ) -> Result<()> {
         for (tx, peer) in txs.iter().zip(peer_rows) {
             let lo = self.my_rows.start.max(peer.start);
@@ -702,10 +950,12 @@ impl Worker<'_> {
             }
             // Convert to local row indices within `data`.
             let local = (lo - self.my_rows.start)..(hi - self.my_rows.start);
+            let mut part = pool.take(local.len(), data.cols);
+            copy_rows_into(data, local, &mut part);
             tx.send(Msg {
                 micro,
                 row0: lo,
-                data: data.slice_rows(local),
+                data: part,
             })
             .map_err(|_| DappleError::ChannelClosed {
                 stage: self.stage,
@@ -725,6 +975,7 @@ impl Worker<'_> {
         buf: &mut HashMap<usize, Vec<Msg>>,
         micro: usize,
         idx: usize,
+        pool: &mut TensorPool,
     ) -> Result<Tensor> {
         let rx = match side {
             RxSide::Forward => self.rx_f.as_ref().expect("fwd channel"),
@@ -739,9 +990,24 @@ impl Worker<'_> {
                 .unwrap_or(0);
             if have == want {
                 let mut parts = buf.remove(&micro).expect("parts present");
+                if parts.len() == 1 {
+                    // One part covering everything (equal replication):
+                    // take it as-is, no concat copy.
+                    return Ok(parts.pop().expect("one part").data);
+                }
                 parts.sort_by_key(|p| p.row0);
-                let tensors: Vec<Tensor> = parts.into_iter().map(|p| p.data).collect();
-                return Ok(Tensor::concat_rows(&tensors));
+                let cols = parts[0].data.cols;
+                let mut out = pool.take(want, cols);
+                let mut r0 = 0usize;
+                for p in parts {
+                    debug_assert_eq!(p.data.cols, cols, "part width mismatch");
+                    out.data[r0 * cols..(r0 + p.data.rows) * cols].copy_from_slice(&p.data.data);
+                    r0 += p.data.rows;
+                    // Spent parts restock the pool: the reverse direction
+                    // crosses this boundary with the same part shapes.
+                    pool.put(p.data);
+                }
+                return Ok(out);
             }
             if have > want {
                 return Err(DappleError::ChannelProtocol {
@@ -779,32 +1045,43 @@ enum RxSide {
     Backward,
 }
 
-/// Forward through a stage's layers, collecting caches.
-fn forward_stage(layers: &[Dense], input: &Tensor) -> (Tensor, Vec<DenseCache>) {
-    let mut caches = Vec::with_capacity(layers.len());
-    let mut cur = input.clone();
-    for layer in layers {
-        let (y, cache) = layer.forward(&cur);
-        caches.push(cache);
-        cur = y;
+/// Forward through a stage's layers; returns the per-layer output chain.
+fn forward_stage(layers: &[Dense], input: &Tensor) -> Vec<Tensor> {
+    let mut ys = Vec::with_capacity(layers.len());
+    for (i, layer) in layers.iter().enumerate() {
+        let x = if i == 0 { input } else { &ys[i - 1] };
+        ys.push(layer.forward(x));
     }
-    (cur, caches)
+    ys
 }
 
-/// Backward through a stage's layers, accumulating parameter grads.
+/// Backward through a stage's layers.
+///
+/// Returns `(dx, per-layer grads, spent_gy)`, where `spent_gy` is the
+/// (destroyed) buffer `gy` arrived in, handed back so the caller can
+/// recycle it — it has exactly the shape of this worker's outgoing
+/// boundary messages.
 fn backward_stage(
     layers: &[Dense],
-    caches: &[DenseCache],
-    dy: Tensor,
-    grads: &mut [DenseGrads],
-) -> Tensor {
-    let mut cur = dy;
+    input: &Tensor,
+    ys: &[Tensor],
+    gy: Tensor,
+) -> (Tensor, Vec<DenseGrads>, Tensor) {
+    assert_eq!(ys.len(), layers.len(), "output chain length");
+    let mut grads: Vec<Option<DenseGrads>> = (0..layers.len()).map(|_| None).collect();
+    let mut spent: Option<Tensor> = None;
+    let mut cur = gy;
     for i in (0..layers.len()).rev() {
-        let (dx, g) = layers[i].backward(&caches[i], &cur);
-        grads[i].accumulate(&g);
-        cur = dx;
+        let x = if i == 0 { input } else { &ys[i - 1] };
+        let (dx, g) = layers[i].backward(x, &ys[i], &mut cur);
+        grads[i] = Some(g);
+        let used = std::mem::replace(&mut cur, dx);
+        if spent.is_none() {
+            spent = Some(used);
+        }
     }
-    cur
+    let grads = grads.into_iter().map(|g| g.expect("all layers")).collect();
+    (cur, grads, spent.expect("non-empty stage"))
 }
 
 /// Adds a micro-batch's contribution into the running accumulator.
@@ -892,6 +1169,7 @@ mod tests {
                     loss: LossKind::Mse,
                     recv_timeout: Duration::from_secs(5),
                     nan_policy: NanPolicy::AbortStep,
+                    buffer_reuse: true,
                 };
                 let trainer = PipelineTrainer::new(model.clone(), cfg).unwrap();
                 let (loss, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -922,6 +1200,7 @@ mod tests {
             loss: LossKind::Mse,
             recv_timeout: Duration::from_secs(5),
             nan_policy: NanPolicy::AbortStep,
+            buffer_reuse: true,
         };
         let trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (_, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -947,6 +1226,7 @@ mod tests {
                 loss: LossKind::Mse,
                 recv_timeout: Duration::from_secs(5),
                 nan_policy: NanPolicy::AbortStep,
+                buffer_reuse: true,
             };
             let trainer = PipelineTrainer::new(model.clone(), cfg).unwrap();
             let (_, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -998,6 +1278,7 @@ mod tests {
             loss: LossKind::Mse,
             recv_timeout: Duration::from_secs(5),
             nan_policy: NanPolicy::AbortStep,
+            buffer_reuse: true,
         };
         let trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (_, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -1056,6 +1337,7 @@ mod tests {
             loss: LossKind::SoftmaxXent,
             recv_timeout: Duration::from_secs(5),
             nan_policy: NanPolicy::AbortStep,
+            buffer_reuse: true,
         };
         let mut trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (loss, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -1156,6 +1438,30 @@ mod tests {
         }
     }
 
+    /// Regression for the matmul zero-skip bug: NaN weights combined
+    /// with all-zero activations used to produce finite (silently wrong)
+    /// gradients, because `0 * NaN` was skipped instead of evaluated.
+    /// The poison must propagate through the pipeline and trip the
+    /// per-micro-batch gradient check as a structured NonFinite error.
+    #[test]
+    fn nan_weights_reach_gradient_check_through_zero_activations() {
+        let mut model = model6();
+        // Poison one weight in stage 1. With an all-zero input batch,
+        // every activation entering stage 1 is exactly 0.0, so the only
+        // way the poison can surface is through 0 * NaN = NaN.
+        model.layers[2].w.data[0] = f32::NAN;
+        let cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+        let trainer = PipelineTrainer::new(model, cfg).unwrap();
+        let x = Tensor::zeros(24, 5);
+        let t = Tensor::zeros(24, 3);
+        match trainer.step_grads(&x, &t) {
+            Err(DappleError::NonFinite { stage, .. }) => {
+                assert!(stage >= 1, "poison detected upstream of injection: {stage}")
+            }
+            other => panic!("NaN must reach the gradient check, got {other:?}"),
+        }
+    }
+
     /// Micro-batch slice not divisible by a stage's replication.
     #[test]
     fn replication_divisibility_enforced() {
@@ -1171,6 +1477,7 @@ mod tests {
             loss: LossKind::Mse,
             recv_timeout: Duration::from_secs(5),
             nan_policy: NanPolicy::AbortStep,
+            buffer_reuse: true,
         };
         let trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (x, t) = data::regression_batch(24, 5, 3, 2); // mb = 6, r = 5

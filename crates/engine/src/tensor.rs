@@ -49,6 +49,11 @@ impl Tensor {
     }
 
     /// Matrix product `self (n x k) * rhs (k x m) -> (n x m)`.
+    ///
+    /// No sparsity fast path: an earlier version skipped rows of `rhs`
+    /// whenever the `self` element was exactly zero, which silently
+    /// swallowed NaN/Inf propagation (`0 * NaN` must be NaN) and could
+    /// mask poisoned activations from the engine's NaN detection.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.rows, "matmul inner dims");
         let (n, k, m) = (self.rows, self.cols, rhs.cols);
@@ -56,13 +61,96 @@ impl Tensor {
         let body = |(r, out_row): (usize, &mut [f32])| {
             let a_row = &self.data[r * k..(r + 1) * k];
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &rhs.data[i * m..(i + 1) * m];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
+            }
+        };
+        if n * m >= PAR_THRESHOLD {
+            out.par_chunks_mut(m).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(m).enumerate().for_each(body);
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Transpose-free product `self^T (k x n) * rhs (k x m) -> (n x m)`.
+    ///
+    /// Equivalent to `self.transpose().matmul(rhs)` — bit-identical, the
+    /// per-element accumulation order is the same ascending-`k` sum —
+    /// without materializing the transposed copy. This is the `dW = x^T dz`
+    /// kernel of the dense backward pass.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn outer dims");
+        let (k, n, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0f32; n * m];
+        let body = |(i, out_row): (usize, &mut [f32])| {
+            for r in 0..k {
+                let a = self.data[r * n + i];
+                let b_row = &rhs.data[r * m..(r + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+        if n * m >= PAR_THRESHOLD {
+            out.par_chunks_mut(m).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(m).enumerate().for_each(body);
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Transpose-free product `self (n x k) * rhs^T (k x m) -> (n x m)`
+    /// where `rhs` is `m x k`.
+    ///
+    /// Equivalent to `self.matmul(&rhs.transpose())` — bit-identical —
+    /// without the transposed copy; both operands stream row-major. This
+    /// is the `dx = dz W^T` kernel of the dense backward pass.
+    ///
+    /// Bit-identity pins each output element to a strict ascending-`k`
+    /// sum, which rules out SIMD reassociation; the four-column blocking
+    /// below recovers instruction-level parallelism across independent
+    /// accumulator chains instead. `cargo bench -p dapple-bench --bench
+    /// tensor` tracks how this trades against the transposing baseline.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt inner dims");
+        let (n, k, m) = (self.rows, self.cols, rhs.rows);
+        let mut out = vec![0.0f32; n * m];
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            // Four output columns per pass: each element keeps its own
+            // strict ascending-k sum (bit-identity), but the four
+            // independent accumulator chains overlap in the pipeline
+            // instead of serializing on one.
+            let mut j = 0;
+            while j + 4 <= m {
+                let b0 = &rhs.data[j * k..(j + 1) * k];
+                let b1 = &rhs.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &rhs.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &rhs.data[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for i in 0..k {
+                    let a = a_row[i];
+                    s0 += a * b0[i];
+                    s1 += a * b1[i];
+                    s2 += a * b2[i];
+                    s3 += a * b3[i];
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+                let b_row = &rhs.data[jj * k..(jj + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
             }
         };
         if n * m >= PAR_THRESHOLD {
@@ -195,6 +283,93 @@ mod tests {
         let _ = a.matmul(&b);
     }
 
+    /// Regression: `0 * NaN` must propagate. An earlier zero-skip fast
+    /// path silently produced finite results when the zero operand sat in
+    /// `self`, masking poisoned operands from downstream NaN detection.
+    #[test]
+    fn matmul_propagates_nan_through_zero_lhs() {
+        let a = Tensor::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Tensor::from_vec(2, 1, vec![f32::NAN, 2.0]);
+        assert!(a.matmul(&b).data[0].is_nan(), "0 * NaN must be NaN");
+        // All-zero lhs row against NaN rhs: still NaN, never a clean 0.
+        let z = Tensor::zeros(1, 2);
+        assert!(z.matmul(&b).data[0].is_nan());
+        // Same contract for the transpose-free variants.
+        let a_t = Tensor::from_vec(2, 1, vec![0.0, 1.0]);
+        assert!(a_t.matmul_tn(&b).data[0].is_nan());
+        let b_row = Tensor::from_vec(1, 2, vec![f32::NAN, 2.0]);
+        assert!(a.matmul_nt(&b_row).data[0].is_nan());
+        // Inf behaves the same way: 0 * Inf is NaN.
+        let inf = Tensor::from_vec(2, 1, vec![f32::INFINITY, 2.0]);
+        assert!(z.matmul(&inf).data[0].is_nan());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 4, (0..12).map(|v| v as f32 * 0.5 - 2.0).collect());
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_eq!(fast.rows, 2);
+        assert_eq!(fast.cols, 4);
+        for (x, y) in fast.data.iter().zip(&slow.data) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 4.0, -6.0]);
+        let b = Tensor::from_vec(4, 3, (0..12).map(|v| (v % 5) as f32 - 2.0).collect());
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_eq!(fast.rows, 2);
+        assert_eq!(fast.cols, 4);
+        for (x, y) in fast.data.iter().zip(&slow.data) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_tn outer dims")]
+    fn matmul_tn_dim_mismatch_panics() {
+        let _ = Tensor::zeros(2, 3).matmul_tn(&Tensor::zeros(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt inner dims")]
+    fn matmul_nt_dim_mismatch_panics() {
+        let _ = Tensor::zeros(2, 3).matmul_nt(&Tensor::zeros(2, 2));
+    }
+
+    /// The parallel (rayon) paths of the transpose-free variants agree
+    /// bit-for-bit with the explicit-transpose formulation above the
+    /// threshold too.
+    #[test]
+    fn parallel_transpose_free_variants_match() {
+        let n = 96; // n * n > PAR_THRESHOLD
+        let a = Tensor::from_vec(
+            n,
+            n,
+            (0..n * n).map(|v| (v % 11) as f32 * 0.3 - 1.5).collect(),
+        );
+        let b = Tensor::from_vec(
+            n,
+            n,
+            (0..n * n).map(|v| (v % 7) as f32 * 0.2 - 0.6).collect(),
+        );
+        let tn = a.matmul_tn(&b);
+        let tn_ref = a.transpose().matmul(&b);
+        let nt = a.matmul_nt(&b);
+        let nt_ref = a.matmul(&b.transpose());
+        for (x, y) in tn.data.iter().zip(&tn_ref.data) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in nt.data.iter().zip(&nt_ref.data) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
     #[test]
     fn parallel_matmul_matches_serial() {
         // Big enough to trigger the rayon path.
@@ -233,6 +408,33 @@ mod tests {
             let rhs = a.matmul(&b_sum);
             for (x, y) in lhs.data.iter().zip(&rhs.data) {
                 prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn transpose_free_variants_match_reference(
+            n in 1usize..7, k in 1usize..7, m in 1usize..7, seed in 0u64..100
+        ) {
+            let fill = |salt: u64, len: usize| -> Vec<f32> {
+                (0..len)
+                    .map(|i| (((i as u64 + salt).wrapping_mul(seed + 3) % 19) as f32 - 9.0) * 0.125)
+                    .collect()
+            };
+            // tn: (k x n)^T * (k x m)
+            let a = Tensor::from_vec(k, n, fill(1, k * n));
+            let b = Tensor::from_vec(k, m, fill(2, k * m));
+            let tn = a.matmul_tn(&b);
+            let tn_ref = a.transpose().matmul(&b);
+            for (x, y) in tn.data.iter().zip(&tn_ref.data) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            // nt: (n x k) * (m x k)^T
+            let c = Tensor::from_vec(n, k, fill(3, n * k));
+            let d = Tensor::from_vec(m, k, fill(4, m * k));
+            let nt = c.matmul_nt(&d);
+            let nt_ref = c.matmul(&d.transpose());
+            for (x, y) in nt.data.iter().zip(&nt_ref.data) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
             }
         }
 

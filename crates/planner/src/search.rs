@@ -85,13 +85,16 @@ impl PlannedStrategy {
 }
 
 /// Device counts the search tries for a new stage when `free` devices
-/// remain: every count up to 8, then 4-aligned counts (NVLink-group
+/// remain: every count up to 12, then 4-aligned counts (NVLink-group
 /// granularity), and `free - 1` (leave one device for the suffix). This
 /// keeps the transition fan-out tractable on large clusters while
-/// retaining every placement the Table V plans use.
+/// retaining every placement the Table V plans use. (An earlier version
+/// stopped the dense range at 8 while starting the aligned ramp at 12,
+/// silently excluding counts 9-11 — e.g. a 10-device stage on a 12-free
+/// cluster.)
 fn device_count_candidates(free: usize) -> Vec<usize> {
-    let mut out: Vec<usize> = (1..free.min(9)).collect();
-    let mut v = 12usize;
+    let mut out: Vec<usize> = (1..free.min(13)).collect();
+    let mut v = 16usize;
     while v < free {
         out.push(v);
         v += 4;
@@ -354,6 +357,41 @@ mod tests {
     use dapple_core::{Bytes, PlanKind};
     use dapple_model::{synthetic, OptimizerKind};
     use dapple_profiler::ModelProfile;
+
+    /// Regression for the 9-11 gap: the candidate set must offer every
+    /// count up to 12 (when available), stay sorted and in range, keep
+    /// the 4-aligned ramp, and always include `free - 1`.
+    #[test]
+    fn device_count_candidates_cover_small_counts() {
+        for free in 1usize..=40 {
+            let c = device_count_candidates(free);
+            // Sorted, strictly increasing, all within 1..free (except the
+            // trivial free == 1 case, which proposes nothing).
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "free={free}: {c:?}");
+            assert!(
+                c.iter().all(|&v| v >= 1 && v < free.max(2)),
+                "free={free}: {c:?}"
+            );
+            // Dense coverage: every count up to min(free - 1, 12).
+            for want in 1..=free.saturating_sub(1).min(12) {
+                assert!(c.contains(&want), "free={free} missing {want}: {c:?}");
+            }
+            // The 4-aligned ramp beyond the dense range.
+            let mut v = 16;
+            while v < free {
+                assert!(c.contains(&v), "free={free} missing aligned {v}: {c:?}");
+                v += 4;
+            }
+            // Leave-one-for-the-suffix candidate.
+            if free >= 2 {
+                assert!(c.contains(&(free - 1)), "free={free}: {c:?}");
+            }
+        }
+        // The motivating case: 10-device stages on a 12-free cluster.
+        assert!(device_count_candidates(12).contains(&10));
+        assert!(device_count_candidates(12).contains(&11));
+        assert!(device_count_candidates(16).contains(&9));
+    }
 
     fn planner_for<'a>(
         profile: &'a ModelProfile,

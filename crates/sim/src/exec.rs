@@ -71,8 +71,13 @@ pub struct SimResult {
 
 impl SimResult {
     /// Mean compute utilization across stages (busy / makespan) — the
-    /// "average GPU utilization of all devices" of §II-A.
+    /// "average GPU utilization of all devices" of §II-A. A degenerate
+    /// result (no stages, or a zero/negative makespan) reports 0.0
+    /// instead of NaN.
     pub fn utilization(&self) -> f64 {
+        if self.busy_us.is_empty() || self.makespan_us <= 0.0 {
+            return 0.0;
+        }
         let mean_busy: f64 = self.busy_us.iter().sum::<f64>() / self.busy_us.len() as f64;
         mean_busy / self.makespan_us
     }
@@ -311,6 +316,32 @@ mod tests {
     use dapple_model::{synthetic, OptimizerKind};
     use dapple_planner::pipeline_latency;
     use dapple_profiler::{MemoryModel, ModelProfile};
+
+    /// Regression: a degenerate result (no stages) used to make
+    /// `utilization()` divide 0.0 by 0 and return NaN, which then
+    /// poisoned `bubble_ratio` and any aggregate built on top.
+    #[test]
+    fn utilization_of_empty_result_is_zero_not_nan() {
+        let empty = SimResult {
+            makespan_us: 0.0,
+            throughput: 0.0,
+            tasks: Vec::new(),
+            busy_us: Vec::new(),
+            peak_mem: Vec::new(),
+            mem_series: Vec::new(),
+            oom: false,
+            device_mem: Bytes::ZERO,
+        };
+        assert_eq!(empty.utilization(), 0.0);
+        assert_eq!(empty.bubble_ratio(), 1.0);
+        // Stages but a zero makespan: still finite.
+        let zero_span = SimResult {
+            busy_us: vec![0.0, 0.0],
+            ..empty
+        };
+        assert_eq!(zero_span.utilization(), 0.0);
+        assert!(zero_span.bubble_ratio().is_finite());
+    }
 
     struct Fixture {
         cluster: Cluster,

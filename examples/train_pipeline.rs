@@ -42,6 +42,7 @@ fn main() {
         loss: dapple::engine::LossKind::Mse,
         recv_timeout: std::time::Duration::from_secs(5),
         nan_policy: dapple::engine::NanPolicy::AbortStep,
+        buffer_reuse: true,
     };
     let mut pipe = PipelineTrainer::new(MlpModel::new(&dims, 7), straight).unwrap();
 
@@ -57,6 +58,7 @@ fn main() {
         loss: dapple::engine::LossKind::Mse,
         recv_timeout: std::time::Duration::from_secs(5),
         nan_policy: dapple::engine::NanPolicy::AbortStep,
+        buffer_reuse: true,
     };
     let mut hyb = PipelineTrainer::new(MlpModel::new(&dims, 7), hybrid).unwrap();
 

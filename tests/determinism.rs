@@ -27,6 +27,49 @@ fn splits(idx: usize) -> Vec<std::ops::Range<usize>> {
     }
 }
 
+/// Builds the randomized engine config shared by the properties below.
+fn build_cfg(
+    split_idx: usize,
+    micro_idx: usize,
+    rep_bits: u64,
+    sched_idx: usize,
+    recompute_bit: usize,
+    flight_idx: usize,
+    buffer_reuse: bool,
+) -> EngineConfig {
+    let stage_bounds = splits(split_idx);
+    let micro_batches = [1usize, 2, 3, 4, 6, 8][micro_idx];
+    let rows_per_micro = BATCH / micro_batches;
+    // Replicate a stage 2-ways only when the micro-batch splits evenly.
+    let replication: Vec<usize> = (0..stage_bounds.len())
+        .map(|i| {
+            if rows_per_micro.is_multiple_of(2) && rep_bits & (1 << i) != 0 {
+                2
+            } else {
+                1
+            }
+        })
+        .collect();
+    let schedule = [
+        Schedule::GPipe,
+        Schedule::Dapple(KPolicy::PA),
+        Schedule::Dapple(KPolicy::PB),
+    ][sched_idx];
+    EngineConfig {
+        stage_bounds,
+        replication,
+        schedule,
+        micro_batches,
+        recompute: recompute_bit == 1,
+        lr: 0.1,
+        max_in_flight: [1, 2, usize::MAX][flight_idx],
+        loss: LossKind::Mse,
+        recv_timeout: Duration::from_secs(5),
+        nan_policy: NanPolicy::AbortStep,
+        buffer_reuse,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
     #[test]
@@ -38,36 +81,15 @@ proptest! {
         recompute_bit in 0usize..2,
         flight_idx in 0usize..3,
     ) {
-        let stage_bounds = splits(split_idx);
-        let micro_batches = [1usize, 2, 3, 4, 6, 8][micro_idx];
-        let rows_per_micro = BATCH / micro_batches;
-        // Replicate a stage 2-ways only when the micro-batch splits evenly.
-        let replication: Vec<usize> = (0..stage_bounds.len())
-            .map(|i| {
-                if rows_per_micro.is_multiple_of(2) && rep_bits & (1 << i) != 0 {
-                    2
-                } else {
-                    1
-                }
-            })
-            .collect();
-        let schedule = [
-            Schedule::GPipe,
-            Schedule::Dapple(KPolicy::PA),
-            Schedule::Dapple(KPolicy::PB),
-        ][sched_idx];
-        let cfg = EngineConfig {
-            stage_bounds,
-            replication,
-            schedule,
-            micro_batches,
-            recompute: recompute_bit == 1,
-            lr: 0.1,
-            max_in_flight: [1, 2, usize::MAX][flight_idx],
-            loss: LossKind::Mse,
-            recv_timeout: Duration::from_secs(5),
-            nan_policy: NanPolicy::AbortStep,
-        };
+        let cfg = build_cfg(
+            split_idx,
+            micro_idx,
+            rep_bits,
+            sched_idx,
+            recompute_bit,
+            flight_idx,
+            true,
+        );
 
         let trainer = PipelineTrainer::new(MlpModel::new(&DIMS, 77), cfg).unwrap();
         let (x, t) = data::regression_batch(BATCH, DIMS[0], *DIMS.last().unwrap(), 9);
@@ -90,6 +112,47 @@ proptest! {
             for i in 0..fa.len() {
                 prop_assert_eq!(fa[i].to_bits(), fb[i].to_bits());
                 prop_assert_eq!(fa[i].to_bits(), fc[i].to_bits());
+            }
+        }
+    }
+
+    /// The buffer-reuse engine path (recycled, dirty boundary buffers)
+    /// is bit-identical to the seed allocation-per-message semantics
+    /// across random partitions, schedules and replication — i.e. every
+    /// recycled buffer is fully overwritten before use and the reuse
+    /// layer changes no numerics.
+    #[test]
+    fn buffer_reuse_is_bit_identical_to_seed_semantics(
+        split_idx in 0usize..5,
+        micro_idx in 0usize..6,
+        rep_bits in 0u64..64,
+        sched_idx in 0usize..3,
+        recompute_bit in 0usize..2,
+        flight_idx in 0usize..3,
+    ) {
+        let cfg_reuse = build_cfg(
+            split_idx, micro_idx, rep_bits, sched_idx, recompute_bit, flight_idx, true,
+        );
+        let cfg_seed = build_cfg(
+            split_idx, micro_idx, rep_bits, sched_idx, recompute_bit, flight_idx, false,
+        );
+        let reuse = PipelineTrainer::new(MlpModel::new(&DIMS, 77), cfg_reuse).unwrap();
+        let seed = PipelineTrainer::new(MlpModel::new(&DIMS, 77), cfg_seed).unwrap();
+        let (x, t) = data::regression_batch(BATCH, DIMS[0], *DIMS.last().unwrap(), 9);
+
+        let a = reuse.step_grads_with_faults(&x, &t, &FaultPlan::new()).unwrap();
+        let b = seed.step_grads_with_faults(&x, &t, &FaultPlan::new()).unwrap();
+
+        prop_assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        // The seed path never touches the free lists.
+        prop_assert_eq!(b.pool_hits, 0);
+        prop_assert_eq!(a.grads.len(), b.grads.len());
+        for (ga, gb) in a.grads.iter().zip(&b.grads) {
+            let fa = ga.to_flat();
+            let fb = gb.to_flat();
+            prop_assert_eq!(fa.len(), fb.len());
+            for i in 0..fa.len() {
+                prop_assert_eq!(fa[i].to_bits(), fb[i].to_bits());
             }
         }
     }
