@@ -46,6 +46,7 @@ fn bench_train_step(c: &mut Criterion) {
             recv_timeout: std::time::Duration::from_secs(5),
             nan_policy: dapple_engine::NanPolicy::AbortStep,
             buffer_reuse: true,
+            tracing: false,
         },
     )
     .unwrap();

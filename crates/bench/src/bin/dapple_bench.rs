@@ -4,15 +4,21 @@
 //! hit/miss counters).
 //!
 //! ```text
-//! cargo run --release -p dapple-bench --bin dapple-bench -- [--smoke] [--out PATH]
+//! cargo run --release -p dapple-bench --bin dapple-bench -- [--smoke] [--out PATH] [--trace PATH]
 //! ```
 //!
-//! Writes a hand-rolled JSON report (default `BENCH_2.json`): one record
+//! Writes a hand-rolled JSON report (default `BENCH_3.json`): one record
 //! per measurement with iteration count, wall time and, where it makes
-//! sense, derived throughput. `--smoke` shrinks every shape so the whole
-//! run finishes in a couple of seconds — that mode exists for CI, not for
-//! comparing numbers.
+//! sense, derived throughput — plus the observability records from this
+//! repo's tracing subsystem: step-tracing overhead (on vs. off), measured
+//! bubble ratio and per-stage busy fractions from a traced 1F1B step, and
+//! the predicted-vs-actual phase errors from
+//! [`dapple_bench::validate`]. `--trace PATH` additionally exports the
+//! measured step as a Perfetto-loadable Chrome Trace Event file.
+//! `--smoke` shrinks every shape so the whole run finishes in a couple of
+//! seconds — that mode exists for CI, not for comparing numbers.
 
+use dapple_bench::validate::{run_validation, Scenario};
 use dapple_engine::{data, EngineConfig, FaultPlan, MlpModel, PipelineTrainer, Tensor};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -162,6 +168,118 @@ fn engine_benches(smoke: bool, out: &mut Vec<Record>) {
     }
 }
 
+/// A float as a JSON value; non-finite becomes `null` (JSON has no Inf).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Step-tracing overhead: the same pipeline step timed with the tracing
+/// knob off and on. The acceptance bar is <1% — but timer noise at smoke
+/// sizes dwarfs that, so the number is recorded, not asserted.
+fn tracing_overhead_benches(smoke: bool, out: &mut Vec<Record>, trace_path: Option<&str>) {
+    let (dims, batch, iters): (Vec<usize>, usize, u32) = if smoke {
+        (vec![5, 12, 10, 8, 8, 4, 3], 24, 5)
+    } else {
+        (vec![64, 256, 256, 256, 256, 128, 32], 128, 20)
+    };
+    let (x, t) = data::regression_batch(batch, dims[0], *dims.last().unwrap(), 11);
+    let plan = FaultPlan::new();
+    let mut ns_off = 0.0;
+    for (label, tracing) in [("tracing_off", false), ("tracing_on", true)] {
+        let mut cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+        cfg.tracing = tracing;
+        let trainer = PipelineTrainer::new(MlpModel::new(&dims, 3), cfg).unwrap();
+        let outcome = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+        let ns = time_ns(iters, || {
+            let out = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+            black_box(out.loss);
+        });
+        let mut extra = Vec::new();
+        if tracing {
+            extra.push((
+                "overhead_pct",
+                json_f64((ns - ns_off) / ns_off.max(1.0) * 100.0),
+            ));
+            let trace = outcome.trace.as_ref().expect("tracing enabled");
+            let m = trace.metrics();
+            extra.push(("measured_bubble_ratio", json_f64(m.bubble_ratio)));
+            extra.push((
+                "stage_busy_fraction",
+                format!(
+                    "[{}]",
+                    m.stages
+                        .iter()
+                        .map(|s| json_f64(s.busy_fraction))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+            extra.push(("dropped_spans", trace.dropped_spans().to_string()));
+            if let Some(path) = trace_path {
+                std::fs::write(path, trace.to_chrome_trace()).unwrap_or_else(|e| {
+                    eprintln!("cannot write trace {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("[dapple-bench] wrote chrome trace to {path}");
+            }
+        } else {
+            ns_off = ns;
+        }
+        out.push(Record {
+            group: "trace_overhead",
+            name: format!("straight3_m4_{label}"),
+            iters,
+            ns_per_iter: ns,
+            extra,
+        });
+    }
+}
+
+/// Predicted-vs-actual: simulator timeline vs. the traced engine step.
+fn validation_benches(smoke: bool, out: &mut Vec<Record>) {
+    let scenario = if smoke {
+        Scenario::smoke()
+    } else {
+        Scenario::default_2stage()
+    };
+    let v = run_validation(&scenario);
+    out.push(Record {
+        group: "validation",
+        name: format!(
+            "predicted_vs_actual_s{}_m{}",
+            scenario.stage_bounds.len(),
+            scenario.micro_batches
+        ),
+        iters: 1,
+        ns_per_iter: v.measured_makespan_us * 1e3,
+        extra: vec![
+            ("predicted_makespan_us", json_f64(v.predicted_makespan_us)),
+            ("measured_makespan_us", json_f64(v.measured_makespan_us)),
+            ("predicted_bubble_ratio", json_f64(v.predicted_bubble)),
+            ("measured_bubble_ratio", json_f64(v.measured_bubble)),
+            (
+                "stage_busy_fraction",
+                format!(
+                    "[{}]",
+                    v.stage_busy_fraction
+                        .iter()
+                        .map(|&f| json_f64(f))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ),
+            ("err_makespan", json_f64(v.makespan_error)),
+            ("err_warmup", json_f64(v.phase_errors[0])),
+            ("err_steady", json_f64(v.phase_errors[1])),
+            ("err_tail", json_f64(v.phase_errors[2])),
+        ],
+    });
+}
+
 fn render_json(mode: &str, records: &[Record]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -186,7 +304,8 @@ fn render_json(mode: &str, records: &[Record]) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_2.json".to_string();
+    let mut out_path = "BENCH_3.json".to_string();
+    let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -200,8 +319,18 @@ fn main() {
                     })
                     .clone();
             }
+            "--trace" => {
+                trace_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--trace needs a path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
             _ => {
-                eprintln!("usage: dapple-bench [--smoke] [--out PATH]");
+                eprintln!("usage: dapple-bench [--smoke] [--out PATH] [--trace PATH]");
                 std::process::exit(2);
             }
         }
@@ -215,6 +344,10 @@ fn main() {
     matmul_benches(smoke, &mut records);
     eprintln!("[dapple-bench] pipeline step ({mode})...");
     engine_benches(smoke, &mut records);
+    eprintln!("[dapple-bench] tracing overhead ({mode})...");
+    tracing_overhead_benches(smoke, &mut records, trace_path.as_deref());
+    eprintln!("[dapple-bench] predicted vs actual ({mode})...");
+    validation_benches(smoke, &mut records);
 
     let json = render_json(mode, &records);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {

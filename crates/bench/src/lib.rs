@@ -20,6 +20,7 @@ pub mod ablations;
 pub mod common;
 pub mod figures;
 pub mod tables;
+pub mod validate;
 
 pub use common::Report;
 
@@ -44,5 +45,6 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("fig13", figures::fig13),
         ("fig14", figures::fig14),
         ("ablations", ablations::ablations),
+        ("validation", validate::validation),
     ]
 }

@@ -1,0 +1,340 @@
+//! Predicted-vs-actual schedule validation.
+//!
+//! The simulator predicts pipeline timelines from an analytic cost model;
+//! the engine measures them with runtime tracing. This module closes the
+//! loop: it calibrates a [`ModelGraph`] from per-layer timings measured on
+//! the *engine's* own layers, runs the same plan through [`PipelineSim`]
+//! and through a traced [`PipelineTrainer`] step, aligns the two timelines
+//! on the warmup/steady/tail decomposition ([`dapple_core::PhaseSplit`]),
+//! and reports per-phase relative errors.
+//!
+//! Calibration keeps the comparison honest: the simulated device is given
+//! the reference FLOPs rate (so profiled times equal the measured per-layer
+//! times by construction), zero launch overhead, and a near-infinite
+//! zero-latency interconnect (the engine's channels move pointers within
+//! one process). What remains — scheduling slack, thread wakeup, channel
+//! backpressure — is exactly the modeling error the paper's §VI planner
+//! claims are exposed to.
+
+use crate::common::Report;
+use dapple_cluster::{Cluster, DeviceSpec, Interconnect};
+use dapple_core::{relative_error, Bytes, DeviceId, PhaseSplit, Plan, StagePlan};
+use dapple_engine::{data, EngineConfig, FaultPlan, MlpModel, PipelineTrainer};
+use dapple_model::{synthetic, ModelGraph, OptimizerKind};
+use dapple_planner::CostModel;
+use dapple_profiler::{MemoryModel, ModelProfile};
+use dapple_sim::{KPolicy, PipelineSim, Schedule, SimConfig, SimResult};
+use std::time::Instant;
+
+/// Everything the comparison produced, for reports and BENCH records.
+#[derive(Debug, Clone)]
+pub struct Validation {
+    /// Simulated phase decomposition, µs.
+    pub predicted: PhaseSplit,
+    /// Measured phase decomposition, µs.
+    pub measured: PhaseSplit,
+    /// Simulated end-to-end step makespan, µs.
+    pub predicted_makespan_us: f64,
+    /// Measured end-to-end step makespan, µs.
+    pub measured_makespan_us: f64,
+    /// Simulated mean bubble ratio.
+    pub predicted_bubble: f64,
+    /// Measured mean bubble ratio.
+    pub measured_bubble: f64,
+    /// Measured per-stage compute occupancy.
+    pub stage_busy_fraction: Vec<f64>,
+    /// |predicted − measured| / measured for the full makespan.
+    pub makespan_error: f64,
+    /// Per-phase relative errors: warmup, steady, tail.
+    pub phase_errors: [f64; 3],
+}
+
+/// The benchmark scenario: a 6-layer MLP split over `stages` pipeline
+/// stages, one replica each, no recompute, DAPPLE PA schedule.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Layer widths (`dims.len() - 1` dense layers).
+    pub dims: Vec<usize>,
+    /// Per-stage layer ranges.
+    pub stage_bounds: Vec<std::ops::Range<usize>>,
+    /// Global batch rows.
+    pub batch: usize,
+    /// Micro-batches per step.
+    pub micro_batches: usize,
+}
+
+impl Scenario {
+    /// The default validation scenario: 2 stages × 3 layers, M = 8.
+    /// Layer widths are large enough that compute dominates the engine's
+    /// per-message bookkeeping but a full run stays well under a second.
+    pub fn default_2stage() -> Self {
+        Scenario {
+            dims: vec![64, 192, 192, 160, 160, 128, 64],
+            stage_bounds: vec![0..3, 3..6],
+            batch: 256,
+            micro_batches: 8,
+        }
+    }
+
+    /// A seconds-scale variant for CI smoke runs and tests.
+    pub fn smoke() -> Self {
+        Scenario {
+            dims: vec![16, 32, 32, 16],
+            stage_bounds: vec![0..2, 2..3],
+            batch: 32,
+            micro_batches: 4,
+        }
+    }
+}
+
+/// Median of `reps` timings of `f`, in µs.
+fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Measures per-layer forward/backward wall time of `model` at micro-batch
+/// size `rows` and returns a [`ModelGraph`] calibrated so the simulator's
+/// profiled times reproduce them exactly on the reference device.
+pub fn calibrate_graph(model: &MlpModel, rows: usize, reps: usize) -> ModelGraph {
+    let (x, _) = data::regression_batch(rows, model.layers[0].w.rows, 1, 5);
+    let ys = model.forward(&x);
+    let mut triples = Vec::with_capacity(model.num_layers());
+    let mut bw_ratios = Vec::with_capacity(model.num_layers());
+    for (i, layer) in model.layers.iter().enumerate() {
+        let input = if i == 0 { &x } else { &ys[i - 1] };
+        let fw_us = time_us(reps, || {
+            std::hint::black_box(layer.forward(std::hint::black_box(input)));
+        });
+        // Backward consumes `dy` as scratch, so each rep must clone one;
+        // subtract the clone cost to isolate the backward itself.
+        let clone_us = time_us(reps, || {
+            std::hint::black_box(ys[i].clone());
+        });
+        let bw_plus_clone_us = time_us(reps, || {
+            let mut dy = ys[i].clone();
+            std::hint::black_box(layer.backward(input, &ys[i], &mut dy));
+        });
+        let bw_us = (bw_plus_clone_us - clone_us).max(fw_us * 0.1);
+        let mib = |bytes: usize| bytes as f64 / (1024.0 * 1024.0);
+        triples.push((
+            fw_us / rows as f64,
+            mib(layer.num_params() * 4),
+            mib(ys[i].cols * 4),
+        ));
+        bw_ratios.push(bw_us / fw_us.max(1e-9));
+    }
+    let mut graph = synthetic::from_triples(&triples);
+    for (l, r) in graph.layers.iter_mut().zip(bw_ratios) {
+        l.bw_flops_ratio = r;
+    }
+    graph
+}
+
+/// An idealized in-process "cluster": one device per stage at the
+/// reference FLOPs rate with no launch overhead, joined by effectively
+/// free links (crossbeam channels move pointers, not bytes).
+fn loopback_cluster(stages: usize) -> Cluster {
+    let device = DeviceSpec {
+        flops: 1.0e13,
+        mem: Bytes::gib(16.0),
+        launch_us: 0.0,
+    };
+    let link = Interconnect {
+        bandwidth: 1.0e15,
+        latency_us: 0.0,
+    };
+    Cluster::new("loopback", vec![1; stages], device, link, link)
+}
+
+/// Runs the scenario's plan through the simulator.
+pub fn predict(scenario: &Scenario, graph: &ModelGraph) -> SimResult {
+    let stages = scenario.stage_bounds.len();
+    let cluster = loopback_cluster(stages);
+    let profile = ModelProfile::profile(graph, &cluster.device);
+    let cost = CostModel::new(
+        &profile,
+        &cluster,
+        MemoryModel::new(OptimizerKind::Sgd),
+        scenario.batch,
+    );
+    let plan = Plan::new(
+        scenario
+            .stage_bounds
+            .iter()
+            .enumerate()
+            .map(|(i, r)| StagePlan::new(r.clone(), vec![DeviceId(i as u32)]))
+            .collect(),
+    );
+    PipelineSim::new(&cost, &plan).run(SimConfig {
+        micro_batches: scenario.micro_batches,
+        schedule: Schedule::Dapple(KPolicy::PA),
+        recompute: false,
+    })
+}
+
+/// Runs the scenario end to end: calibrate, simulate, execute with
+/// tracing, and compare the timelines.
+pub fn run_validation(scenario: &Scenario) -> Validation {
+    let out_dim = *scenario.dims.last().expect("dims");
+    let model = MlpModel::new(&scenario.dims, 42);
+    let rows = scenario.batch / scenario.micro_batches;
+    let graph = calibrate_graph(&model, rows, 9);
+    let sim = predict(scenario, &graph);
+
+    let mut cfg =
+        EngineConfig::straight(scenario.stage_bounds.clone(), scenario.micro_batches, 0.01);
+    cfg.tracing = true;
+    let trainer = PipelineTrainer::new(model, cfg).expect("valid scenario config");
+    let (x, t) = data::regression_batch(scenario.batch, scenario.dims[0], out_dim, 7);
+    // Warm the thread pool, channels and allocator before measuring.
+    for _ in 0..2 {
+        trainer.step_grads(&x, &t).expect("warmup step");
+    }
+    let outcome = trainer
+        .step_grads_with_faults(&x, &t, &FaultPlan::new())
+        .expect("measured step");
+    let trace = outcome.trace.expect("tracing was enabled");
+    let metrics = trace.metrics();
+
+    let predicted = sim.phase_split();
+    let measured = trace.phase_split();
+    let measured_makespan_us = metrics.makespan_ns as f64 / 1e3;
+    Validation {
+        predicted_makespan_us: sim.makespan_us,
+        measured_makespan_us,
+        predicted_bubble: sim.bubble_ratio(),
+        measured_bubble: metrics.bubble_ratio,
+        stage_busy_fraction: metrics.stages.iter().map(|s| s.busy_fraction).collect(),
+        makespan_error: relative_error(sim.makespan_us, measured_makespan_us),
+        phase_errors: [
+            relative_error(predicted.warmup_us, measured.warmup_us),
+            relative_error(predicted.steady_us, measured.steady_us),
+            relative_error(predicted.tail_us, measured.tail_us),
+        ],
+        predicted,
+        measured,
+    }
+}
+
+/// The `validation` experiment: predicted-vs-actual table for the default
+/// scenario.
+pub fn validation() -> Report {
+    let scenario = Scenario::default_2stage();
+    let v = run_validation(&scenario);
+    let mut text = String::new();
+    let mut csv = String::from("phase,predicted_us,measured_us,rel_err\n");
+    text.push_str(&format!(
+        "{:<10} {:>14} {:>14} {:>9}\n",
+        "phase", "predicted_us", "measured_us", "rel_err"
+    ));
+    let rows = [
+        (
+            "warmup",
+            v.predicted.warmup_us,
+            v.measured.warmup_us,
+            v.phase_errors[0],
+        ),
+        (
+            "steady",
+            v.predicted.steady_us,
+            v.measured.steady_us,
+            v.phase_errors[1],
+        ),
+        (
+            "tail",
+            v.predicted.tail_us,
+            v.measured.tail_us,
+            v.phase_errors[2],
+        ),
+        (
+            "makespan",
+            v.predicted_makespan_us,
+            v.measured_makespan_us,
+            v.makespan_error,
+        ),
+    ];
+    for (name, p, m, e) in rows {
+        text.push_str(&format!("{name:<10} {p:>14.1} {m:>14.1} {e:>9.3}\n"));
+        csv.push_str(&format!("{name},{p:.3},{m:.3},{e:.4}\n"));
+    }
+    text.push_str(&format!(
+        "bubble ratio: predicted {:.3}, measured {:.3}; stage busy fractions: {}\n",
+        v.predicted_bubble,
+        v.measured_bubble,
+        v.stage_busy_fraction
+            .iter()
+            .map(|f| format!("{f:.3}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    ));
+    Report {
+        id: "validation",
+        title: "Predicted vs. measured 1F1B timeline (2-stage MLP, M=8)".to_string(),
+        text,
+        csv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny scenario for tests: fast, still 2 stages × 4 micro-batches.
+    fn tiny() -> Scenario {
+        Scenario::smoke()
+    }
+
+    #[test]
+    fn calibrated_graph_matches_layer_shape() {
+        let s = tiny();
+        let model = MlpModel::new(&s.dims, 1);
+        let g = calibrate_graph(&model, 8, 3);
+        assert_eq!(g.num_layers(), 3);
+        for l in &g.layers {
+            assert!(l.flops_fw > 0.0, "calibrated fw must be positive");
+            assert!(l.bw_flops_ratio > 0.0);
+        }
+        // Param sizes carry through: layer 0 is 16x32 + 32 params.
+        assert_eq!(g.layers[0].param_bytes, Bytes((16 * 32 + 32) * 4));
+    }
+
+    /// The comparison is structural in CI (timings on shared runners are
+    /// too noisy for tight error bounds): both timelines must be finite,
+    /// non-trivial, and phase-decompose to their makespans.
+    #[test]
+    fn validation_produces_finite_aligned_timelines() {
+        let v = run_validation(&tiny());
+        assert!(v.predicted_makespan_us > 0.0);
+        assert!(v.measured_makespan_us > 0.0);
+        assert!(
+            (v.predicted.total_us() - v.predicted_makespan_us).abs()
+                < 1e-6 * v.predicted_makespan_us.max(1.0)
+        );
+        assert!(
+            (v.measured.total_us() - v.measured_makespan_us).abs()
+                < 1e-6 * v.measured_makespan_us.max(1.0)
+        );
+        for e in v.phase_errors {
+            assert!(e.is_finite() || e == f64::INFINITY);
+            assert!(!e.is_nan());
+        }
+        assert!(v.measured_bubble >= 0.0 && v.measured_bubble <= 1.0);
+        assert_eq!(v.stage_busy_fraction.len(), 2);
+    }
+
+    #[test]
+    fn validation_report_renders() {
+        let r = validation();
+        assert_eq!(r.id, "validation");
+        assert!(r.text.contains("makespan"));
+        assert!(r.csv.lines().count() >= 5);
+    }
+}

@@ -13,14 +13,21 @@
 //!   arithmetic and human-readable formatting;
 //! * the parallelization [`plan::Plan`] produced by the planner and consumed
 //!   by the simulator and the engine;
+//! * the shared Chrome Trace Event writer ([`chrome`]) and the
+//!   warmup/steady/tail phase decomposition ([`phase`]) used by both the
+//!   simulated and the measured timelines;
 //! * the workspace-wide error type [`DappleError`].
 
+pub mod chrome;
 pub mod error;
 pub mod ids;
+pub mod phase;
 pub mod plan;
 pub mod quantity;
 
+pub use chrome::{chrome_trace_json, ChromeArg, ChromeEvent};
 pub use error::{DappleError, Result};
 pub use ids::{DeviceId, LayerId, MachineId, StageId};
+pub use phase::{relative_error, PhaseSplit, PhaseTag};
 pub use plan::{Plan, PlanKind, StagePlan};
 pub use quantity::{Bytes, TimeUs};

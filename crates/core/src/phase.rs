@@ -1,0 +1,143 @@
+//! Warmup/steady/tail phase decomposition of a pipeline timeline.
+//!
+//! DAPPLE's latency analysis (§V-C, Fig. 5) splits one training iteration
+//! into three phases: the *warmup* ramp until the first backward starts,
+//! the *steady* 1F1B interleaving while forwards and backwards coexist,
+//! and the *tail* drain (trailing backwards plus gradient sync) after the
+//! last forward ends. Both the simulator's task records and the engine's
+//! measured spans lower into the same [`PhaseSplit`] here, so
+//! predicted-vs-actual comparisons are phase-aligned by construction.
+
+/// Coarse classification of a timeline span for phase splitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseTag {
+    /// A forward compute span.
+    Forward,
+    /// A backward compute span.
+    Backward,
+    /// Anything else (communication, AllReduce, optimizer, recompute).
+    Other,
+}
+
+/// Durations of the three pipeline phases, µs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseSplit {
+    /// From the first span's start to the first backward's start.
+    pub warmup_us: f64,
+    /// From the first backward's start to the last forward's end.
+    pub steady_us: f64,
+    /// From the last forward's end to the last span's end.
+    pub tail_us: f64,
+}
+
+impl PhaseSplit {
+    /// Total timeline length (makespan), µs.
+    pub fn total_us(&self) -> f64 {
+        self.warmup_us + self.steady_us + self.tail_us
+    }
+
+    /// Splits a timeline given `(tag, start_us, end_us)` spans.
+    ///
+    /// With no backward spans the whole timeline counts as warmup; with
+    /// no forward spans everything after the first backward is tail. All
+    /// phases are clamped non-negative, and they always sum to the
+    /// makespan.
+    pub fn from_spans(spans: impl IntoIterator<Item = (PhaseTag, f64, f64)>) -> Self {
+        let mut t0 = f64::INFINITY;
+        let mut t_end = f64::NEG_INFINITY;
+        let mut first_bw = f64::INFINITY;
+        let mut last_fw = f64::NEG_INFINITY;
+        for (tag, start, end) in spans {
+            t0 = t0.min(start);
+            t_end = t_end.max(end);
+            match tag {
+                PhaseTag::Backward => first_bw = first_bw.min(start),
+                PhaseTag::Forward => last_fw = last_fw.max(end),
+                PhaseTag::Other => {}
+            }
+        }
+        if !t0.is_finite() || t_end < t0 {
+            return PhaseSplit::default();
+        }
+        let first_bw = first_bw.clamp(t0, t_end);
+        let last_fw = last_fw.clamp(first_bw, t_end);
+        PhaseSplit {
+            warmup_us: first_bw - t0,
+            steady_us: last_fw - first_bw,
+            tail_us: t_end - last_fw,
+        }
+    }
+}
+
+/// Relative error of a prediction against a measurement, `|p - m| / m`.
+///
+/// A zero (or tiny) measurement with a matching prediction reports 0, so
+/// degenerate phases (e.g. an empty tail) don't blow up the error table.
+pub fn relative_error(predicted: f64, measured: f64) -> f64 {
+    let diff = (predicted - measured).abs();
+    if measured.abs() < 1e-9 {
+        if diff < 1e-9 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        diff / measured.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_1f1b_shape() {
+        // warmup [0,10), steady [10,30), tail [30,40).
+        let spans = [
+            (PhaseTag::Forward, 0.0, 5.0),
+            (PhaseTag::Forward, 5.0, 10.0),
+            (PhaseTag::Backward, 10.0, 15.0),
+            (PhaseTag::Forward, 15.0, 30.0),
+            (PhaseTag::Backward, 30.0, 38.0),
+            (PhaseTag::Other, 38.0, 40.0),
+        ];
+        let p = PhaseSplit::from_spans(spans);
+        assert_eq!(p.warmup_us, 10.0);
+        assert_eq!(p.steady_us, 20.0);
+        assert_eq!(p.tail_us, 10.0);
+        assert_eq!(p.total_us(), 40.0);
+    }
+
+    #[test]
+    fn no_backward_is_all_warmup() {
+        let p = PhaseSplit::from_spans([(PhaseTag::Forward, 2.0, 8.0)]);
+        assert_eq!(p.warmup_us, 6.0);
+        assert_eq!(p.steady_us, 0.0);
+        assert_eq!(p.tail_us, 0.0);
+    }
+
+    #[test]
+    fn empty_timeline_is_zero() {
+        let p = PhaseSplit::from_spans(std::iter::empty());
+        assert_eq!(p.total_us(), 0.0);
+    }
+
+    #[test]
+    fn phases_always_sum_to_makespan() {
+        // Backward starting before any forward ends (degenerate but legal).
+        let spans = [
+            (PhaseTag::Backward, 1.0, 4.0),
+            (PhaseTag::Forward, 2.0, 9.0),
+        ];
+        let p = PhaseSplit::from_spans(spans);
+        assert!((p.total_us() - 8.0).abs() < 1e-12);
+        assert!(p.warmup_us >= 0.0 && p.steady_us >= 0.0 && p.tail_us >= 0.0);
+    }
+
+    #[test]
+    fn relative_error_handles_zero_measurement() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(5.0, 0.0), f64::INFINITY);
+        assert!((relative_error(11.0, 10.0) - 0.1).abs() < 1e-12);
+    }
+}

@@ -29,6 +29,7 @@ pub mod model;
 pub mod optim;
 pub mod pipeline;
 pub mod tensor;
+pub mod trace;
 
 pub use fault::{FaultKind, FaultPlan, NanPolicy};
 pub use layer::{Activation, Dense};
@@ -37,3 +38,6 @@ pub use model::{MlpModel, StepStats};
 pub use optim::Optimizer;
 pub use pipeline::{EngineConfig, PipelineTrainer, StepOutcome};
 pub use tensor::Tensor;
+pub use trace::{
+    Span, SpanKind, SpanRing, SpanWriter, StageMetrics, StepMetrics, StepTrace, WorkerTrace,
+};

@@ -32,12 +32,14 @@ use crate::layer::{Dense, DenseGrads};
 use crate::loss::{loss_grad, LossKind};
 use crate::model::{MlpModel, StepStats};
 use crate::tensor::Tensor;
+use crate::trace::{SpanKind, SpanRing, SpanWriter, StepTrace, WorkerTrace};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dapple_core::{DappleError, Result};
 use dapple_sim::schedule::{stage_order, Step};
 use dapple_sim::Schedule;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a pipeline training run.
@@ -70,6 +72,12 @@ pub struct EngineConfig {
     /// seed allocation-per-message semantics; results are bit-identical
     /// either way (see tests/determinism.rs).
     pub buffer_reuse: bool,
+    /// Record per-worker span traces ([`StepTrace`]) during the step.
+    /// Off by default: with tracing off the hot path takes no timestamps
+    /// and performs no extra allocations (asserted in
+    /// tests/alloc_counts.rs); with it on, recording is lock-free into
+    /// pre-allocated ring buffers.
+    pub tracing: bool,
 }
 
 impl EngineConfig {
@@ -88,6 +96,7 @@ impl EngineConfig {
             recv_timeout: Duration::from_secs(5),
             nan_policy: NanPolicy::AbortStep,
             buffer_reuse: true,
+            tracing: false,
         }
     }
 }
@@ -140,6 +149,9 @@ pub struct StepOutcome {
     /// pipeline warmup — the count is independent of the number of
     /// micro-batches (asserted in tests/alloc_counts.rs).
     pub pool_misses: usize,
+    /// The measured span timeline of this step when
+    /// [`EngineConfig::tracing`] is on; `None` otherwise.
+    pub trace: Option<StepTrace>,
 }
 
 /// The pipeline trainer: a model plus its parallelization config.
@@ -215,22 +227,48 @@ impl PipelineTrainer {
         target: &Tensor,
         faults: &FaultPlan,
     ) -> Result<StepOutcome> {
+        let (result, trace) = self.step_with_trace(x, target, faults);
+        result.map(|mut out| {
+            out.trace = trace;
+            out
+        })
+    }
+
+    /// [`Self::step_grads_with_faults`] with the measured trace surfaced
+    /// separately, so a *failed* step still yields its partial timeline:
+    /// spans recorded before the failure survive in the per-worker rings
+    /// and are drained here regardless of the step's outcome. With
+    /// [`EngineConfig::tracing`] off the trace is always `None`.
+    pub fn step_with_trace(
+        &self,
+        x: &Tensor,
+        target: &Tensor,
+        faults: &FaultPlan,
+    ) -> (Result<StepOutcome>, Option<StepTrace>) {
         let n = x.rows;
         let m = self.cfg.micro_batches;
         if !n.is_multiple_of(m) {
-            return Err(DappleError::InvalidConfig(format!(
-                "batch {n} not divisible by {m} micro-batches"
-            )));
+            return (
+                Err(DappleError::InvalidConfig(format!(
+                    "batch {n} not divisible by {m} micro-batches"
+                ))),
+                None,
+            );
         }
         let mb = n / m;
         for (i, &r) in self.cfg.replication.iter().enumerate() {
             if !mb.is_multiple_of(r) {
-                return Err(DappleError::InvalidConfig(format!(
-                    "micro-batch {mb} not divisible by stage {i} replication {r}"
-                )));
+                return (
+                    Err(DappleError::InvalidConfig(format!(
+                        "micro-batch {mb} not divisible by stage {i} replication {r}"
+                    ))),
+                    None,
+                );
             }
         }
-        faults.validate(&self.cfg)?;
+        if let Err(e) = faults.validate(&self.cfg) {
+            return (Err(e), None);
+        }
         let s = self.cfg.stage_bounds.len();
 
         // Row ranges (micro-batch local) per stage replica.
@@ -267,6 +305,10 @@ impl PipelineTrainer {
             bwd_tx.push(txs);
         }
 
+        // Per-worker trace rings, pre-sized from the script length so
+        // recording never allocates (≤ 4 spans per scheduled step).
+        let epoch = Instant::now();
+        let mut rings: Vec<Arc<SpanRing>> = Vec::new();
         let mut results: Vec<Result<WorkerOut>> = Vec::with_capacity(s * 2);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -275,6 +317,11 @@ impl PipelineTrainer {
                     let layers = &self.model.layers[self.cfg.stage_bounds[i].clone()];
                     let my_rows = rows_of(i, p);
                     let script = stage_order(self.cfg.schedule, i, s, m, self.cfg.max_in_flight);
+                    let tracer = self.cfg.tracing.then(|| {
+                        let ring = Arc::new(SpanRing::new(4 * script.len() + 8));
+                        rings.push(Arc::clone(&ring));
+                        SpanWriter::new(ring, epoch)
+                    });
                     let rx_f = fwd_rx[i][p].take();
                     let rx_b = bwd_rx[i][p].take();
                     let tx_f: Option<Vec<Sender<Msg>>> = (i + 1 < s).then(|| fwd_tx[i].clone());
@@ -313,6 +360,7 @@ impl PipelineTrainer {
                         nan_policy: self.cfg.nan_policy,
                         recv_timeout: self.cfg.recv_timeout,
                         reuse: self.cfg.buffer_reuse,
+                        tracer,
                     };
                     handles.push(scope.spawn(move || {
                         // A panicking worker (genuine bug or injected
@@ -344,8 +392,31 @@ impl PipelineTrainer {
             }
         });
 
+        // Drain the rings into the trace before inspecting errors: the
+        // joins above give the happens-before edge, and spans written
+        // before a worker failed (or panicked) are still in its ring.
+        let mut trace = self
+            .cfg
+            .tracing
+            .then(|| StepTrace::new(self.cfg.replication.clone(), epoch));
+        if let Some(tr) = trace.as_mut() {
+            let mut k = 0usize;
+            for i in 0..s {
+                for p in 0..self.cfg.replication[i] {
+                    let ring = &rings[k];
+                    k += 1;
+                    tr.workers.push(WorkerTrace {
+                        stage: i,
+                        replica: p,
+                        spans: ring.snapshot(),
+                        dropped: ring.dropped(),
+                    });
+                }
+            }
+        }
+
         if let Some(err) = most_severe_error(&results) {
-            return Err(err);
+            return (Err(err), trace);
         }
         let mut outs: Vec<WorkerOut> = results
             .into_iter()
@@ -375,7 +446,15 @@ impl PipelineTrainer {
                         .collect::<Vec<f32>>()
                 })
                 .collect();
+            // Time the ring AllReduce only when it actually synchronizes
+            // replicas — mirrors the simulator, which emits an AllReduce
+            // task only for replicated stages.
+            let ar_t0 = (trace.is_some() && flats.len() > 1).then(Instant::now);
             dapple_collectives::allreduce_sum(&mut flats);
+            if let (Some(t0), Some(tr)) = (ar_t0, trace.as_mut()) {
+                let bytes = (flats[0].len() * std::mem::size_of::<f32>()) as u64;
+                tr.record_coord(Some(i), SpanKind::AllReduce, bytes, t0, Instant::now());
+            }
             // Unflatten replica 0's reduced gradients into layer slots.
             let mut offset = 0usize;
             for layer_idx in self.cfg.stage_bounds[i].clone() {
@@ -390,14 +469,18 @@ impl PipelineTrainer {
             .into_iter()
             .map(|g| g.expect("every layer covered"))
             .collect();
-        Ok(StepOutcome {
-            loss,
-            grads,
-            skipped_micro_batches,
-            zeroed_values,
-            pool_hits,
-            pool_misses,
-        })
+        (
+            Ok(StepOutcome {
+                loss,
+                grads,
+                skipped_micro_batches,
+                zeroed_values,
+                pool_hits,
+                pool_misses,
+                trace: None,
+            }),
+            trace,
+        )
     }
 
     /// One synchronous training step: pipeline gradients + SGD apply.
@@ -408,6 +491,30 @@ impl PipelineTrainer {
             loss,
             samples: x.rows,
         })
+    }
+
+    /// [`Self::train_step`] returning the step's measured trace, with the
+    /// optimizer apply recorded as an `OptimStep` span on the same clock.
+    /// The trace is `None` unless [`EngineConfig::tracing`] is on.
+    pub fn train_step_traced(
+        &mut self,
+        x: &Tensor,
+        target: &Tensor,
+    ) -> Result<(StepStats, Option<StepTrace>)> {
+        let (result, mut trace) = self.step_with_trace(x, target, &FaultPlan::new());
+        let out = result?;
+        let t0 = Instant::now();
+        self.model.apply(&out.grads, self.cfg.lr);
+        if let Some(tr) = trace.as_mut() {
+            tr.record_coord(None, SpanKind::OptimStep, 0, t0, Instant::now());
+        }
+        Ok((
+            StepStats {
+                loss: out.loss,
+                samples: x.rows,
+            },
+            trace,
+        ))
     }
 
     /// One synchronous training step under an explicit optimizer
@@ -494,6 +601,8 @@ struct Worker<'a> {
     recv_timeout: Duration,
     /// Whether boundary buffers circulate through the free-list pool.
     reuse: bool,
+    /// Span recorder; `None` keeps the hot path timestamp-free.
+    tracer: Option<SpanWriter>,
 }
 
 /// Stored state per in-flight micro-batch.
@@ -581,6 +690,12 @@ impl Payload<'_> {
     }
 }
 
+/// Payload size of a boundary tensor, bytes.
+#[inline]
+fn tensor_bytes(t: &Tensor) -> u64 {
+    (t.rows * t.cols * std::mem::size_of::<f32>()) as u64
+}
+
 /// Copies rows `src_rows` of `src` into `dst` (exactly the overlap shape).
 fn copy_rows_into(src: &Tensor, src_rows: Range<usize>, dst: &mut Tensor) {
     debug_assert_eq!(dst.rows, src_rows.len());
@@ -591,6 +706,20 @@ fn copy_rows_into(src: &Tensor, src_rows: Range<usize>, dst: &mut Tensor) {
 }
 
 impl Worker<'_> {
+    /// Epoch-relative timestamp; 0 (and never read) with tracing off.
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, SpanWriter::now_ns)
+    }
+
+    /// Records a span when tracing is on (lock-free, allocation-free).
+    #[inline]
+    fn rec(&self, kind: SpanKind, micro: usize, bytes: u64, start_ns: u64, end_ns: u64) {
+        if let Some(tr) = &self.tracer {
+            tr.record(kind, micro as u32, bytes, start_ns, end_ns);
+        }
+    }
+
     fn run(mut self) -> Result<WorkerOut> {
         let mut grads: Vec<DenseGrads> = self.layers.iter().map(DenseGrads::zeros_like).collect();
         let mut loss = 0.0f32;
@@ -625,6 +754,7 @@ impl Worker<'_> {
             }
             match step {
                 Step::Fw(u) => {
+                    let t0 = self.now_ns();
                     let input = if self.is_first {
                         let lo = u * self.mb + self.my_rows.start;
                         let hi = u * self.mb + self.my_rows.end;
@@ -634,11 +764,26 @@ impl Worker<'_> {
                     } else {
                         self.recv_rows(RxSide::Forward, &mut buf_f, u, idx, &mut pool)?
                     };
+                    let t1 = self.now_ns();
+                    if !self.is_first {
+                        self.rec(SpanKind::CommRecvWait, u, tensor_bytes(&input), t0, t1);
+                    }
                     let mut ys = forward_stage(self.layers, &input);
+                    // The first stage folds its input-slice copy into the
+                    // forward span; downstream stages start at receipt.
+                    self.rec(
+                        SpanKind::Fw,
+                        u,
+                        0,
+                        if self.is_first { t0 } else { t1 },
+                        self.now_ns(),
+                    );
                     if fault == Some(FaultKind::NanGradient) {
                         poisoned.insert(u);
                     }
                     if let (Some(txs), Some(next_rows)) = (&self.tx_f, &self.next_rows) {
+                        let out_bytes = tensor_bytes(ys.last().expect("non-empty stage"));
+                        let ts = self.now_ns();
                         if fault == Some(FaultKind::NanGradient) {
                             // Poison only the outgoing copy; the cached
                             // chain stays clean (the local backward is
@@ -679,6 +824,7 @@ impl Worker<'_> {
                                 &mut pool,
                             )?;
                         }
+                        self.rec(SpanKind::CommSend, u, out_bytes, ts, self.now_ns());
                     }
                     flights.insert(
                         u,
@@ -690,13 +836,19 @@ impl Worker<'_> {
                     );
                 }
                 Step::Bw(u) => {
-                    let (input, ys) = match flights.remove(&u).expect("forward before backward") {
-                        Flight::Cached { input, ys } => (input, ys),
-                        Flight::InputOnly(input) => {
-                            let ys = forward_stage(self.layers, &input);
-                            (input, ys)
-                        }
-                    };
+                    let t0 = self.now_ns();
+                    let (input, ys, recomputed) =
+                        match flights.remove(&u).expect("forward before backward") {
+                            Flight::Cached { input, ys } => (input, ys, false),
+                            Flight::InputOnly(input) => {
+                                let ys = forward_stage(self.layers, &input);
+                                (input, ys, true)
+                            }
+                        };
+                    let ta = self.now_ns();
+                    if recomputed {
+                        self.rec(SpanKind::Recompute, u, 0, t0, ta);
+                    }
                     let mut micro_loss = 0.0f32;
                     let mut dy = if self.is_last {
                         let pred = ys.last().expect("non-empty stage");
@@ -709,6 +861,10 @@ impl Worker<'_> {
                     } else {
                         self.recv_rows(RxSide::Backward, &mut buf_b, u, idx, &mut pool)?
                     };
+                    let tb = self.now_ns();
+                    if !self.is_last {
+                        self.rec(SpanKind::CommRecvWait, u, tensor_bytes(&dy), ta, tb);
+                    }
                     if fault == Some(FaultKind::NanGradient) || poisoned.contains(&u) {
                         dy.data.fill(f32::NAN);
                     }
@@ -716,6 +872,15 @@ impl Worker<'_> {
                     // poisoned one can be inspected — and skipped or
                     // repaired — before it contaminates the accumulator.
                     let (dx, contrib, spent_gy) = backward_stage(self.layers, &input, &ys, dy);
+                    // The last stage folds its loss computation into the
+                    // backward span; upstream stages start at receipt.
+                    self.rec(
+                        SpanKind::Bw,
+                        u,
+                        0,
+                        if self.is_last { ta } else { tb },
+                        self.now_ns(),
+                    );
                     // The boundary buffers this micro-batch arrived in are
                     // spent now; recycling them is what stocks the pool
                     // for the sends of later micro-batches (misses happen
@@ -752,6 +917,8 @@ impl Worker<'_> {
                     // under a lenient policy it will detect and handle
                     // the poison in its own contribution.
                     if let (Some(txs), Some(prev_rows)) = (&self.tx_b, &self.prev_rows) {
+                        let dx_bytes = tensor_bytes(&dx);
+                        let ts = self.now_ns();
                         self.send_with_fault(
                             fault,
                             txs,
@@ -761,6 +928,7 @@ impl Worker<'_> {
                             idx,
                             &mut pool,
                         )?;
+                        self.rec(SpanKind::CommSend, u, dx_bytes, ts, self.now_ns());
                     } else {
                         // First stage: dx is unused, but its shape equals
                         // the first stage's input slices — recycle it.
@@ -1170,6 +1338,7 @@ mod tests {
                     recv_timeout: Duration::from_secs(5),
                     nan_policy: NanPolicy::AbortStep,
                     buffer_reuse: true,
+                    tracing: false,
                 };
                 let trainer = PipelineTrainer::new(model.clone(), cfg).unwrap();
                 let (loss, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -1201,6 +1370,7 @@ mod tests {
             recv_timeout: Duration::from_secs(5),
             nan_policy: NanPolicy::AbortStep,
             buffer_reuse: true,
+            tracing: false,
         };
         let trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (_, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -1227,6 +1397,7 @@ mod tests {
                 recv_timeout: Duration::from_secs(5),
                 nan_policy: NanPolicy::AbortStep,
                 buffer_reuse: true,
+                tracing: false,
             };
             let trainer = PipelineTrainer::new(model.clone(), cfg).unwrap();
             let (_, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -1279,6 +1450,7 @@ mod tests {
             recv_timeout: Duration::from_secs(5),
             nan_policy: NanPolicy::AbortStep,
             buffer_reuse: true,
+            tracing: false,
         };
         let trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (_, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -1338,6 +1510,7 @@ mod tests {
             recv_timeout: Duration::from_secs(5),
             nan_policy: NanPolicy::AbortStep,
             buffer_reuse: true,
+            tracing: false,
         };
         let mut trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (loss, grads) = trainer.step_grads(&x, &t).unwrap();
@@ -1478,6 +1651,7 @@ mod tests {
             recv_timeout: Duration::from_secs(5),
             nan_policy: NanPolicy::AbortStep,
             buffer_reuse: true,
+            tracing: false,
         };
         let trainer = PipelineTrainer::new(model, cfg).unwrap();
         let (x, t) = data::regression_batch(24, 5, 3, 2); // mb = 6, r = 5

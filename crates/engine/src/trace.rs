@@ -1,0 +1,522 @@
+//! Runtime tracing for the threaded 1F1B engine.
+//!
+//! Each stage-replica worker owns a [`SpanWriter`] over a pre-allocated,
+//! single-writer [`SpanRing`]: recording a span is two relaxed atomic
+//! loads, one slot write and one release store — no locks, no heap
+//! allocation — so the alloc-free steady-state invariant of
+//! `tests/alloc_counts.rs` survives with tracing on. The coordinator
+//! snapshots every ring after the join (the join provides the
+//! happens-before edge) into a [`StepTrace`], which renders as a Chrome
+//! Trace Event JSON timeline (via [`dapple_core::chrome`]) and derives
+//! per-stage busy/bubble/backpressure metrics ([`StepMetrics`]).
+//!
+//! Timestamps are monotonic nanoseconds relative to a per-step epoch
+//! (`Instant` taken before the workers spawn), so spans from different
+//! threads share one clock and predicted-vs-actual comparisons can align
+//! the measured timeline with the simulator's.
+
+use dapple_core::chrome::{chrome_trace_json, ChromeArg, ChromeEvent};
+use dapple_core::phase::{PhaseSplit, PhaseTag};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sentinel for spans not tied to a micro-batch (AllReduce, OptimStep).
+pub const NO_MICRO: u32 = u32::MAX;
+
+/// What a recorded span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Forward compute of one micro-batch on one stage replica.
+    Fw,
+    /// Backward compute of one micro-batch.
+    Bw,
+    /// Activation re-materialization before a backward (recompute mode).
+    Recompute,
+    /// Copying/moving a boundary message into its channel.
+    CommSend,
+    /// Blocked waiting for boundary input (channel backpressure).
+    CommRecvWait,
+    /// Ring AllReduce of a replicated stage's gradients.
+    AllReduce,
+    /// The optimizer's weight update after gradient sync.
+    OptimStep,
+}
+
+impl SpanKind {
+    /// Category string for Chrome trace export.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Fw => "forward",
+            SpanKind::Bw => "backward",
+            SpanKind::Recompute => "recompute",
+            SpanKind::CommSend | SpanKind::CommRecvWait => "comm",
+            SpanKind::AllReduce => "allreduce",
+            SpanKind::OptimStep => "optim",
+        }
+    }
+
+    /// Phase classification for warmup/steady/tail splitting. Only plain
+    /// forwards count as `Forward` (recompute happens inside the backward
+    /// drain), matching how the simulator tags its tasks.
+    pub fn phase_tag(self) -> PhaseTag {
+        match self {
+            SpanKind::Fw => PhaseTag::Forward,
+            SpanKind::Bw => PhaseTag::Backward,
+            _ => PhaseTag::Other,
+        }
+    }
+}
+
+/// One recorded span: epoch-relative monotonic nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Micro-batch index, or [`NO_MICRO`].
+    pub micro: u32,
+    /// Payload bytes moved (comm/AllReduce spans; 0 for compute).
+    pub bytes: u64,
+    /// Span start, ns since the step epoch.
+    pub start_ns: u64,
+    /// Span end, ns since the step epoch.
+    pub end_ns: u64,
+}
+
+impl Span {
+    const EMPTY: Span = Span {
+        kind: SpanKind::Fw,
+        micro: NO_MICRO,
+        bytes: 0,
+        start_ns: 0,
+        end_ns: 0,
+    };
+
+    /// Span duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A pre-allocated single-writer span buffer.
+///
+/// Exactly one thread pushes (the owning worker); the coordinator reads
+/// only after joining that thread. `len` is published with `Release` and
+/// read with `Acquire`, so even a mid-step snapshot (not used today)
+/// would observe fully-written slots. Overflow drops the span and counts
+/// it — recording never blocks and never allocates.
+pub struct SpanRing {
+    slots: Box<[UnsafeCell<Span>]>,
+    len: AtomicUsize,
+    dropped: AtomicUsize,
+}
+
+// SAFETY: single-writer discipline — `push` is only called by the owning
+// worker thread, and readers order their loads after the writer's
+// `Release` store of `len` (or after joining the writer).
+unsafe impl Sync for SpanRing {}
+
+impl SpanRing {
+    /// A ring with room for `capacity` spans, allocated up front.
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            slots: (0..capacity.max(1))
+                .map(|_| UnsafeCell::new(Span::EMPTY))
+                .collect(),
+            len: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends a span. Single-writer only; drops (and counts) on overflow.
+    fn push(&self, span: Span) {
+        let n = self.len.load(Ordering::Relaxed);
+        if n >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: only the single writer touches slot `n` before the
+        // Release store below publishes it.
+        unsafe { *self.slots[n].get() = span };
+        self.len.store(n + 1, Ordering::Release);
+    }
+
+    /// Copies the recorded spans out (allocates — call off the hot path).
+    pub fn snapshot(&self) -> Vec<Span> {
+        let n = self.len.load(Ordering::Acquire).min(self.slots.len());
+        // SAFETY: slots below `n` were published by the Release store.
+        (0..n).map(|i| unsafe { *self.slots[i].get() }).collect()
+    }
+
+    /// Spans lost to overflow.
+    pub fn dropped(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// A worker's handle for recording spans against the shared step epoch.
+#[derive(Clone)]
+pub struct SpanWriter {
+    ring: Arc<SpanRing>,
+    epoch: Instant,
+}
+
+impl SpanWriter {
+    /// Binds a ring to the step epoch.
+    pub fn new(ring: Arc<SpanRing>, epoch: Instant) -> Self {
+        SpanWriter { ring, epoch }
+    }
+
+    /// Nanoseconds since the step epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records one span (allocation-free).
+    #[inline]
+    pub fn record(&self, kind: SpanKind, micro: u32, bytes: u64, start_ns: u64, end_ns: u64) {
+        self.ring.push(Span {
+            kind,
+            micro,
+            bytes,
+            start_ns,
+            end_ns,
+        });
+    }
+}
+
+/// The spans one stage-replica worker recorded during a step.
+#[derive(Debug, Clone)]
+pub struct WorkerTrace {
+    /// Stage index.
+    pub stage: usize,
+    /// Replica index within the stage.
+    pub replica: usize,
+    /// Recorded spans in program order.
+    pub spans: Vec<Span>,
+    /// Spans lost to ring overflow (0 unless the ring was undersized).
+    pub dropped: usize,
+}
+
+/// A coordinator-side span (gradient AllReduce, optimizer step).
+#[derive(Debug, Clone, Copy)]
+pub struct CoordSpan {
+    /// Stage the span belongs to; `None` for whole-model spans.
+    pub stage: Option<usize>,
+    /// The span itself.
+    pub span: Span,
+}
+
+/// The full measured timeline of one pipelined step.
+#[derive(Debug, Clone)]
+pub struct StepTrace {
+    /// Per-worker spans, in spawn order (stage-major, replica-minor).
+    pub workers: Vec<WorkerTrace>,
+    /// Coordinator spans (AllReduce per replicated stage, OptimStep).
+    pub coord: Vec<CoordSpan>,
+    /// Replication factor per stage (fixes the Chrome `tid` layout).
+    pub replication: Vec<usize>,
+    /// The step epoch all span timestamps are relative to. Kept so spans
+    /// that happen after the workers join (optimizer apply) can be stamped
+    /// on the same clock.
+    pub(crate) epoch: Instant,
+}
+
+impl StepTrace {
+    pub(crate) fn new(replication: Vec<usize>, epoch: Instant) -> Self {
+        StepTrace {
+            workers: Vec::new(),
+            coord: Vec::new(),
+            replication,
+            epoch,
+        }
+    }
+
+    /// Records a coordinator span on the step clock.
+    pub(crate) fn record_coord(
+        &mut self,
+        stage: Option<usize>,
+        kind: SpanKind,
+        bytes: u64,
+        start: Instant,
+        end: Instant,
+    ) {
+        let rel = |t: Instant| t.duration_since(self.epoch).as_nanos() as u64;
+        self.coord.push(CoordSpan {
+            stage,
+            span: Span {
+                kind,
+                micro: NO_MICRO,
+                bytes,
+                start_ns: rel(start),
+                end_ns: rel(end),
+            },
+        });
+    }
+
+    /// All spans with their stage attribution.
+    fn all_spans(&self) -> impl Iterator<Item = (Option<usize>, Span)> + '_ {
+        self.workers
+            .iter()
+            .flat_map(|w| w.spans.iter().map(move |s| (Some(w.stage), *s)))
+            .chain(self.coord.iter().map(|c| (c.stage, c.span)))
+    }
+
+    /// Total spans lost to ring overflow across all workers.
+    pub fn dropped_spans(&self) -> usize {
+        self.workers.iter().map(|w| w.dropped).sum()
+    }
+
+    /// Renders the measured timeline as Chrome Trace Event JSON.
+    ///
+    /// Layout: `pid` = stage (coordinator spans without a stage go on
+    /// `pid` = number of stages), and within a stage each replica owns two
+    /// `tid` rows — `2r` for compute, `2r + 1` for communication — so
+    /// multi-replica stages don't overdraw one row. Stage-level AllReduce
+    /// spans take the row after the last replica pair.
+    pub fn to_chrome_trace(&self) -> String {
+        let num_stages = self.replication.len();
+        let mut events: Vec<ChromeEvent> = Vec::new();
+        for w in &self.workers {
+            for s in &w.spans {
+                events.push(self.event_for(Some(w.stage), w.replica, *s));
+            }
+        }
+        for c in &self.coord {
+            let mut e = self.event_for(c.stage, 0, c.span);
+            e.pid = c.stage.unwrap_or(num_stages);
+            // Stage-level coordinator spans take the row after the last
+            // replica pair; whole-model spans own row 0 of their pid.
+            e.tid = match c.stage {
+                Some(stage) => 2 * self.replication.get(stage).copied().unwrap_or(1),
+                None => 0,
+            };
+            events.push(e);
+        }
+        chrome_trace_json(events)
+    }
+
+    fn event_for(&self, stage: Option<usize>, replica: usize, s: Span) -> ChromeEvent {
+        let micro_name = if s.micro == NO_MICRO {
+            String::new()
+        } else {
+            s.micro.to_string()
+        };
+        let (name, comm_row) = match s.kind {
+            SpanKind::Fw => (format!("F{micro_name}"), false),
+            SpanKind::Bw => (format!("B{micro_name}"), false),
+            SpanKind::Recompute => (format!("RC{micro_name}"), false),
+            SpanKind::CommSend => (format!("send{micro_name}"), true),
+            SpanKind::CommRecvWait => (format!("recv-wait{micro_name}"), true),
+            SpanKind::AllReduce => ("AllReduce".to_string(), false),
+            SpanKind::OptimStep => ("OptimStep".to_string(), false),
+        };
+        let mut args = vec![("replica", ChromeArg::Int(replica as u64))];
+        if s.micro != NO_MICRO {
+            args.push(("micro", ChromeArg::Int(u64::from(s.micro))));
+        }
+        if s.bytes > 0 {
+            args.push(("bytes", ChromeArg::Int(s.bytes)));
+        }
+        ChromeEvent {
+            name,
+            cat: s.kind.category(),
+            ts_us: s.start_ns as f64 / 1e3,
+            dur_us: s.dur_ns() as f64 / 1e3,
+            pid: stage.unwrap_or(self.replication.len()),
+            tid: 2 * replica + usize::from(comm_row),
+            args,
+        }
+    }
+
+    /// Warmup/steady/tail split of the measured timeline, µs.
+    pub fn phase_split(&self) -> PhaseSplit {
+        PhaseSplit::from_spans(self.all_spans().map(|(_, s)| {
+            (
+                s.kind.phase_tag(),
+                s.start_ns as f64 / 1e3,
+                s.end_ns as f64 / 1e3,
+            )
+        }))
+    }
+
+    /// Derives per-step metrics from the recorded spans.
+    pub fn metrics(&self) -> StepMetrics {
+        let num_stages = self.replication.len();
+        let mut t0 = u64::MAX;
+        let mut t_end = 0u64;
+        let mut stages: Vec<StageMetrics> = (0..num_stages)
+            .map(|i| StageMetrics {
+                stage: i,
+                replicas: self.replication[i],
+                ..StageMetrics::default()
+            })
+            .collect();
+        for (stage, s) in self.all_spans() {
+            t0 = t0.min(s.start_ns);
+            t_end = t_end.max(s.end_ns);
+            let Some(stage) = stage else { continue };
+            let m = &mut stages[stage];
+            match s.kind {
+                SpanKind::Fw | SpanKind::Bw | SpanKind::Recompute => m.busy_ns += s.dur_ns(),
+                SpanKind::CommRecvWait => m.comm_wait_ns += s.dur_ns(),
+                SpanKind::CommSend => m.send_ns += s.dur_ns(),
+                SpanKind::AllReduce => m.allreduce_ns += s.dur_ns(),
+                SpanKind::OptimStep => {}
+            }
+        }
+        let makespan_ns = t_end.saturating_sub(if t0 == u64::MAX { 0 } else { t0 });
+        for m in &mut stages {
+            let denom = makespan_ns.max(1) as f64 * m.replicas.max(1) as f64;
+            m.busy_fraction = (m.busy_ns as f64 / denom).min(1.0);
+            m.bubble_ratio = 1.0 - m.busy_fraction;
+        }
+        let bubble_ratio = if stages.is_empty() {
+            1.0
+        } else {
+            stages.iter().map(|m| m.bubble_ratio).sum::<f64>() / stages.len() as f64
+        };
+        StepMetrics {
+            makespan_ns,
+            bubble_ratio,
+            phases: self.phase_split(),
+            stages,
+        }
+    }
+}
+
+/// Per-stage time accounting, summed over the stage's replicas.
+#[derive(Debug, Clone, Default)]
+pub struct StageMetrics {
+    /// Stage index.
+    pub stage: usize,
+    /// Replica count.
+    pub replicas: usize,
+    /// Compute time (forward + backward + recompute), ns.
+    pub busy_ns: u64,
+    /// Time blocked on boundary receives (backpressure), ns.
+    pub comm_wait_ns: u64,
+    /// Time spent copying/moving boundary messages out, ns.
+    pub send_ns: u64,
+    /// Gradient AllReduce wall time, ns.
+    pub allreduce_ns: u64,
+    /// `busy_ns / (replicas * makespan)` — per-replica compute occupancy.
+    pub busy_fraction: f64,
+    /// `1 - busy_fraction`.
+    pub bubble_ratio: f64,
+}
+
+/// Metrics of one measured step.
+#[derive(Debug, Clone)]
+pub struct StepMetrics {
+    /// Timeline length (last span end − first span start), ns.
+    pub makespan_ns: u64,
+    /// Mean per-stage bubble ratio.
+    pub bubble_ratio: f64,
+    /// Warmup/steady/tail decomposition.
+    pub phases: PhaseSplit,
+    /// Per-stage accounting.
+    pub stages: Vec<StageMetrics>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_records_in_order_and_counts_overflow() {
+        let ring = SpanRing::new(2);
+        for i in 0..3u64 {
+            ring.push(Span {
+                kind: SpanKind::Fw,
+                micro: i as u32,
+                bytes: 0,
+                start_ns: i,
+                end_ns: i + 1,
+            });
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].micro, 0);
+        assert_eq!(spans[1].micro, 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    fn trace_fixture() -> StepTrace {
+        let mut t = StepTrace::new(vec![1, 1], Instant::now());
+        let span = |kind, micro, start_ns, end_ns| Span {
+            kind,
+            micro,
+            bytes: 0,
+            start_ns,
+            end_ns,
+        };
+        t.workers.push(WorkerTrace {
+            stage: 0,
+            replica: 0,
+            spans: vec![
+                span(SpanKind::Fw, 0, 0, 100),
+                span(SpanKind::CommSend, 0, 100, 110),
+                span(SpanKind::CommRecvWait, 0, 110, 300),
+                span(SpanKind::Bw, 0, 300, 500),
+            ],
+            dropped: 0,
+        });
+        t.workers.push(WorkerTrace {
+            stage: 1,
+            replica: 0,
+            spans: vec![
+                span(SpanKind::CommRecvWait, 0, 0, 110),
+                span(SpanKind::Fw, 0, 110, 200),
+                span(SpanKind::Bw, 0, 200, 290),
+                span(SpanKind::CommSend, 0, 290, 300),
+            ],
+            dropped: 0,
+        });
+        t
+    }
+
+    #[test]
+    fn metrics_account_busy_wait_and_bubbles() {
+        let m = trace_fixture().metrics();
+        assert_eq!(m.makespan_ns, 500);
+        assert_eq!(m.stages[0].busy_ns, 300);
+        assert_eq!(m.stages[0].comm_wait_ns, 190);
+        assert_eq!(m.stages[0].send_ns, 10);
+        assert_eq!(m.stages[1].busy_ns, 180);
+        assert!((m.stages[0].busy_fraction - 0.6).abs() < 1e-12);
+        assert!((m.bubble_ratio - (0.4 + 1.0 - 0.36) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_split_totals_makespan() {
+        let p = trace_fixture().phase_split();
+        // First backward starts at 200 ns = 0.2 µs; last forward ends at
+        // 200 ns; tail runs to 500 ns.
+        assert!((p.warmup_us - 0.2).abs() < 1e-12);
+        assert_eq!(p.steady_us, 0.0);
+        assert!((p.tail_us - 0.3).abs() < 1e-12);
+        assert!((p.total_us() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_export_routes_rows_and_args() {
+        let mut t = trace_fixture();
+        let e = t.epoch;
+        t.record_coord(Some(1), SpanKind::AllReduce, 4096, e, e);
+        t.record_coord(None, SpanKind::OptimStep, 0, e, e);
+        let json = t.to_chrome_trace();
+        assert!(json.contains(r#""name":"F0""#));
+        assert!(json.contains(r#""name":"recv-wait0""#));
+        assert!(json.contains(r#""cat":"comm""#));
+        // Comm spans sit on the odd tid row.
+        assert!(json.contains(r#""tid":1"#));
+        // Coordinator OptimStep lands on the synthetic pid row.
+        assert!(json.contains(r#""pid":2"#));
+        assert!(json.contains(r#""args":{"replica":0,"micro":0}"#));
+        assert!(json.contains(r#""bytes":4096"#));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

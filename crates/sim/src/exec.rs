@@ -31,6 +31,9 @@ pub struct TaskRecord {
     pub kind: TaskKind,
     /// Micro-batch index (0 for `AllReduce`).
     pub micro: usize,
+    /// Payload bytes moved (`CommF`/`CommB`: boundary activation bytes;
+    /// `AllReduce`: the stage's parameter bytes; 0 for compute tasks).
+    pub bytes: u64,
     /// Start time, µs.
     pub start_us: f64,
     /// End time, µs.
@@ -85,6 +88,21 @@ impl SimResult {
     /// Bubble fraction: `1 - utilization()`.
     pub fn bubble_ratio(&self) -> f64 {
         1.0 - self.utilization()
+    }
+
+    /// Warmup/steady/tail split of the simulated timeline (µs), on the
+    /// same [`PhaseSplit`] the engine derives from measured spans — the
+    /// alignment predicted-vs-actual comparisons rely on.
+    pub fn phase_split(&self) -> dapple_core::PhaseSplit {
+        use dapple_core::PhaseTag;
+        dapple_core::PhaseSplit::from_spans(self.tasks.iter().map(|t| {
+            let tag = match t.kind {
+                TaskKind::Fw => PhaseTag::Forward,
+                TaskKind::Bw => PhaseTag::Backward,
+                _ => PhaseTag::Other,
+            };
+            (tag, t.start_us, t.end_us)
+        }))
     }
 
     /// Largest per-stage peak memory.
@@ -147,6 +165,18 @@ impl<'a> PipelineSim<'a> {
         let mut bw_done = vec![vec![f64::NAN; m]; s];
         let mut commb_done = vec![vec![f64::NAN; m]; s.saturating_sub(1)];
 
+        // Activation bytes crossing each forward boundary per micro-batch
+        // (the backward gradient crossing the same boundary has the same
+        // shape).
+        let boundary_bytes: Vec<u64> = (0..s.saturating_sub(1))
+            .map(|i| {
+                self.cost
+                    .profile
+                    .boundary_act(self.plan.stages[i].layers.end, mb_samples)
+                    .0
+            })
+            .collect();
+
         let mut stage_free = vec![0.0f64; s];
         let mut chan_f_free = vec![0.0f64; s.saturating_sub(1)];
         let mut chan_b_free = vec![0.0f64; s.saturating_sub(1)];
@@ -207,6 +237,7 @@ impl<'a> PipelineSim<'a> {
                         stage: i,
                         kind,
                         micro,
+                        bytes: 0,
                         start_us: start,
                         end_us: end,
                     });
@@ -223,6 +254,7 @@ impl<'a> PipelineSim<'a> {
                                     stage: i,
                                     kind: TaskKind::CommF,
                                     micro: u,
+                                    bytes: boundary_bytes[i],
                                     start_us: cstart,
                                     end_us: cend,
                                 });
@@ -240,6 +272,7 @@ impl<'a> PipelineSim<'a> {
                                     stage: i - 1,
                                     kind: TaskKind::CommB,
                                     micro: u,
+                                    bytes: boundary_bytes[i - 1],
                                     start_us: cstart,
                                     end_us: cend,
                                 });
@@ -270,6 +303,7 @@ impl<'a> PipelineSim<'a> {
                     stage: i,
                     kind: TaskKind::AllReduce,
                     micro: 0,
+                    bytes: self.cost.param_bytes(self.plan.stages[i].layers.clone()).0,
                     start_us: last_bw,
                     end_us: last_bw + ar,
                 });

@@ -89,6 +89,7 @@ mod tests {
                     stage: 0,
                     kind: TaskKind::Fw,
                     micro: 0,
+                    bytes: 0,
                     start_us: 0.0,
                     end_us: 40.0,
                 },
@@ -96,6 +97,7 @@ mod tests {
                     stage: 0,
                     kind: TaskKind::Bw,
                     micro: 0,
+                    bytes: 0,
                     start_us: 60.0,
                     end_us: 100.0,
                 },
@@ -103,6 +105,7 @@ mod tests {
                     stage: 1,
                     kind: TaskKind::Fw,
                     micro: 0,
+                    bytes: 0,
                     start_us: 40.0,
                     end_us: 60.0,
                 },

@@ -1,45 +1,87 @@
 //! Chrome-tracing export of simulated schedules.
 //!
 //! [`to_chrome_trace`] renders a [`SimResult`] as a Chrome Trace Event
-//! JSON array (the `chrome://tracing` / Perfetto format): one row per
-//! stage, one duration event per forward/backward/communication/AllReduce
-//! task. Written by hand — no JSON dependency — and escaped conservatively.
+//! JSON array (the `chrome://tracing` / Perfetto format) via the shared
+//! [`dapple_core::chrome`] writer — the same serializer the engine uses
+//! for measured traces, so the two timelines load side by side.
+//!
+//! Row layout mirrors the engine's: `pid` = compute stage, `tid 0` =
+//! compute, `tid 1` = the stage's comm row. Each cross-stage transfer
+//! emits **two** events — the send occupying the sender's comm row and
+//! the matching recv-wait on the receiver's — so backpressure is visible
+//! from both endpoints, exactly like the measured trace.
 
 use crate::exec::{SimResult, TaskKind};
-use std::fmt::Write as _;
+use dapple_core::{chrome_trace_json, ChromeArg, ChromeEvent};
 
 /// Serializes the simulation as Chrome Trace Event JSON.
 ///
 /// Load the output in `chrome://tracing` or <https://ui.perfetto.dev>.
-/// Compute stages appear as process rows (`pid` = stage); communication
-/// tasks attach to the boundary's upstream stage on a separate thread row.
+/// Compute tasks carry a `micro` arg; comm and AllReduce events also
+/// carry `bytes`. A transfer across boundary `b` (between stages `b`
+/// and `b+1`) appears twice: `send{u}` on the sending stage's comm row
+/// and `recv-wait{u}` on the receiving stage's.
 pub fn to_chrome_trace(result: &SimResult) -> String {
-    let mut out = String::from("[\n");
-    let mut first = true;
+    let mut events = Vec::with_capacity(2 * result.tasks.len());
     for t in &result.tasks {
-        let (name, tid) = match t.kind {
-            TaskKind::Fw => (format!("F{}", t.micro), 0),
-            TaskKind::Bw => (format!("B{}", t.micro), 0),
-            TaskKind::CommF => (format!("commF{}", t.micro), 1),
-            TaskKind::CommB => (format!("commB{}", t.micro), 1),
-            TaskKind::AllReduce => ("AllReduce".to_string(), 0),
-        };
-        if !first {
-            out.push_str(",\n");
+        let ts_us = t.start_us;
+        let dur_us = (t.end_us - t.start_us).max(0.0);
+        let micro = ("micro", ChromeArg::Int(t.micro as u64));
+        let bytes = ("bytes", ChromeArg::Int(t.bytes));
+        match t.kind {
+            TaskKind::Fw | TaskKind::Bw => {
+                let letter = if t.kind == TaskKind::Fw { 'F' } else { 'B' };
+                events.push(ChromeEvent {
+                    name: format!("{letter}{}", t.micro),
+                    cat: kind_name(t.kind),
+                    ts_us,
+                    dur_us,
+                    pid: t.stage,
+                    tid: 0,
+                    args: vec![micro],
+                });
+            }
+            TaskKind::CommF | TaskKind::CommB => {
+                // `t.stage` is the boundary index; data moves downstream
+                // (b -> b+1) for CommF and upstream (b+1 -> b) for CommB.
+                let (src, dst) = if t.kind == TaskKind::CommF {
+                    (t.stage, t.stage + 1)
+                } else {
+                    (t.stage + 1, t.stage)
+                };
+                events.push(ChromeEvent {
+                    name: format!("send{}", t.micro),
+                    cat: "comm",
+                    ts_us,
+                    dur_us,
+                    pid: src,
+                    tid: 1,
+                    args: vec![micro.clone(), bytes.clone()],
+                });
+                events.push(ChromeEvent {
+                    name: format!("recv-wait{}", t.micro),
+                    cat: "comm",
+                    ts_us,
+                    dur_us,
+                    pid: dst,
+                    tid: 1,
+                    args: vec![micro, bytes],
+                });
+            }
+            TaskKind::AllReduce => {
+                events.push(ChromeEvent {
+                    name: "AllReduce".to_string(),
+                    cat: "allreduce",
+                    ts_us,
+                    dur_us,
+                    pid: t.stage,
+                    tid: 0,
+                    args: vec![bytes],
+                });
+            }
         }
-        first = false;
-        write!(
-            out,
-            r#"  {{"name":"{name}","cat":"{cat}","ph":"X","ts":{ts:.3},"dur":{dur:.3},"pid":{pid},"tid":{tid}}}"#,
-            cat = kind_name(t.kind),
-            ts = t.start_us,
-            dur = (t.end_us - t.start_us).max(0.0),
-            pid = t.stage,
-        )
-        .expect("write to string");
     }
-    out.push_str("\n]\n");
-    out
+    chrome_trace_json(events)
 }
 
 fn kind_name(kind: TaskKind) -> &'static str {
@@ -66,6 +108,7 @@ mod tests {
                     stage: 0,
                     kind: TaskKind::Fw,
                     micro: 0,
+                    bytes: 0,
                     start_us: 0.0,
                     end_us: 10.0,
                 },
@@ -73,6 +116,7 @@ mod tests {
                     stage: 0,
                     kind: TaskKind::CommF,
                     micro: 0,
+                    bytes: 2048,
                     start_us: 10.0,
                     end_us: 12.0,
                 },
@@ -80,6 +124,7 @@ mod tests {
                     stage: 1,
                     kind: TaskKind::Bw,
                     micro: 0,
+                    bytes: 0,
                     start_us: 12.0,
                     end_us: 30.0,
                 },
@@ -97,9 +142,9 @@ mod tests {
         let json = to_chrome_trace(&result());
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
-        // One object per task, comma-separated.
-        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
-        assert_eq!(json.matches("},\n").count(), 2);
+        // Fw + Bw + two endpoint events for the one transfer.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -111,6 +156,21 @@ mod tests {
         assert!(json.contains(r#""ts":12.000"#));
         assert!(json.contains(r#""dur":18.000"#));
         assert!(json.contains(r#""pid":1"#));
+        assert!(json.contains(r#""micro":0"#));
+        assert!(json.contains(r#""bytes":2048"#));
+    }
+
+    #[test]
+    fn comm_appears_on_both_endpoint_rows() {
+        let json = to_chrome_trace(&result());
+        // The boundary-0 transfer: send on stage 0's comm row, recv-wait
+        // on stage 1's.
+        assert!(json.contains(
+            r#""name":"send0","cat":"comm","ph":"X","ts":10.000,"dur":2.000,"pid":0,"tid":1"#
+        ));
+        assert!(json.contains(
+            r#""name":"recv-wait0","cat":"comm","ph":"X","ts":10.000,"dur":2.000,"pid":1,"tid":1"#
+        ));
     }
 
     #[test]
@@ -141,10 +201,17 @@ mod tests {
             recompute: false,
         });
         let json = to_chrome_trace(&run);
-        // 8 forwards + 8 backwards + comm both ways + no allreduce.
+        // Every comm task becomes a send/recv-wait pair; everything else
+        // stays one event.
+        let comm = run
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.kind, TaskKind::CommF | TaskKind::CommB))
+            .count();
         let events = json.matches("\"ph\":\"X\"").count();
-        assert_eq!(events, run.tasks.len());
-        // Balanced braces: every line-object closes.
+        assert_eq!(events, run.tasks.len() + comm);
+        assert!(comm > 0, "2-stage plan must move activations");
+        // Balanced braces: every object closes.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -43,6 +43,7 @@ fn main() {
         recv_timeout: std::time::Duration::from_secs(5),
         nan_policy: dapple::engine::NanPolicy::AbortStep,
         buffer_reuse: true,
+        tracing: false,
     };
     let mut pipe = PipelineTrainer::new(MlpModel::new(&dims, 7), straight).unwrap();
 
@@ -59,6 +60,7 @@ fn main() {
         recv_timeout: std::time::Duration::from_secs(5),
         nan_policy: dapple::engine::NanPolicy::AbortStep,
         buffer_reuse: true,
+        tracing: false,
     };
     let mut hyb = PipelineTrainer::new(MlpModel::new(&dims, 7), hybrid).unwrap();
 

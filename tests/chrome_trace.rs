@@ -1,241 +1,22 @@
 //! The Chrome-trace export is real JSON. A minimal recursive-descent
-//! parser (no dependencies) parses `to_chrome_trace` output from an
-//! actual simulation and checks that every simulated task appears as a
-//! complete-event object with the documented fields.
+//! parser (shared with the runtime-trace tests, no dependencies) parses
+//! `to_chrome_trace` output from an actual simulation and checks that
+//! every simulated task appears as a complete-event object with the
+//! documented fields — and that every cross-stage transfer appears on
+//! *both* endpoint rows (a send slice on the sender, a recv-wait slice on
+//! the receiver).
 
+mod common;
+
+use common::{Json, Parser};
 use dapple::cluster::Cluster;
 use dapple::core::{Bytes, DeviceId, Plan, StagePlan};
 use dapple::model::synthetic;
 use dapple::planner::CostModel;
 use dapple::profiler::{MemoryModel, ModelProfile};
-use dapple::sim::{to_chrome_trace, KPolicy, PipelineSim, Schedule, SimConfig, SimResult};
-use std::collections::BTreeMap;
-
-// ---------------------------------------------------------------------
-// Minimal JSON value + recursive-descent parser.
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(BTreeMap<String, Json>),
-}
-
-impl Json {
-    fn as_array(&self) -> &[Json] {
-        match self {
-            Json::Array(v) => v,
-            other => panic!("expected array, got {other:?}"),
-        }
-    }
-    fn as_object(&self) -> &BTreeMap<String, Json> {
-        match self {
-            Json::Object(m) => m,
-            other => panic!("expected object, got {other:?}"),
-        }
-    }
-    fn as_str(&self) -> &str {
-        match self {
-            Json::String(s) => s,
-            other => panic!("expected string, got {other:?}"),
-        }
-    }
-    fn as_f64(&self) -> f64 {
-        match self {
-            Json::Number(n) => *n,
-            other => panic!("expected number, got {other:?}"),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse(text: &'a str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing input at byte {}", p.pos));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                b as char, self.pos, self.bytes[self.pos] as char
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::String(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            b'-' | b'0'..=b'9' => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other as char, self.pos
-            )),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            let value = self.value()?;
-            if map.insert(key.clone(), value).is_some() {
-                return Err(format!("duplicate key {key:?}"));
-            }
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Object(map));
-                }
-                other => return Err(format!("expected ',' or '}}', found {:?}", other as char)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                other => return Err(format!("expected ',' or ']', found {:?}", other as char)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
-                        }
-                        other => return Err(format!("bad escape {:?}", other as char)),
-                    }
-                }
-                _ => out.push(b as char),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.bytes.get(self.pos) == Some(&b'-') {
-            self.pos += 1;
-        }
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| e.to_string())?
-            .parse::<f64>()
-            .map(Json::Number)
-            .map_err(|e| format!("bad number at byte {start}: {e}"))
-    }
-}
-
-// ---------------------------------------------------------------------
-// Building a real simulation run.
-// ---------------------------------------------------------------------
+use dapple::sim::{
+    to_chrome_trace, KPolicy, PipelineSim, Schedule, SimConfig, SimResult, TaskKind,
+};
 
 fn simulate(schedule: Schedule) -> SimResult {
     let cluster = Cluster::config_b(2);
@@ -258,6 +39,19 @@ fn simulate(schedule: Schedule) -> SimResult {
     })
 }
 
+/// Events whose slice starts at `ts` with the given name, as objects.
+fn events_named<'a>(
+    events: &'a [Json],
+    name: &str,
+    ts: f64,
+) -> Vec<&'a std::collections::BTreeMap<String, Json>> {
+    events
+        .iter()
+        .map(Json::as_object)
+        .filter(|o| o["name"].as_str() == name && (o["ts"].as_f64() - ts).abs() < 1e-3)
+        .collect()
+}
+
 #[test]
 fn chrome_trace_is_valid_json_covering_every_task() {
     for schedule in [
@@ -269,14 +63,23 @@ fn chrome_trace_is_valid_json_covering_every_task() {
         let text = to_chrome_trace(&run);
         let root = Parser::parse(&text)
             .unwrap_or_else(|e| panic!("{schedule:?}: invalid JSON: {e}\n{text}"));
-
         let events = root.as_array();
+
+        // Every comm task is rendered twice (send + recv-wait); everything
+        // else exactly once.
+        let comm = run
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.kind, TaskKind::CommF | TaskKind::CommB))
+            .count();
+        assert!(comm > 0, "{schedule:?}: 2-stage run must transfer");
         assert_eq!(
             events.len(),
-            run.tasks.len(),
-            "{schedule:?}: one event per simulated task"
+            run.tasks.len() + comm,
+            "{schedule:?}: one event per task plus one extra per transfer"
         );
-        for (event, task) in events.iter().zip(&run.tasks) {
+
+        for event in events {
             let obj = event.as_object();
             for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
                 assert!(
@@ -285,26 +88,72 @@ fn chrome_trace_is_valid_json_covering_every_task() {
                 );
             }
             assert_eq!(obj["ph"].as_str(), "X", "complete events only");
-            assert_eq!(obj["pid"].as_f64() as usize, task.stage, "pid is the stage");
-            assert!(
-                (obj["ts"].as_f64() - task.start_us).abs() < 1e-3,
-                "{schedule:?}: ts {} vs start {}",
-                obj["ts"].as_f64(),
-                task.start_us
-            );
-            let dur = task.end_us - task.start_us;
-            assert!(
-                (obj["dur"].as_f64() - dur).abs() < 1e-3,
-                "{schedule:?}: dur {} vs {}",
-                obj["dur"].as_f64(),
-                dur
-            );
             assert!(!obj["name"].as_str().is_empty());
             assert!(
                 ["forward", "backward", "comm", "allreduce"].contains(&obj["cat"].as_str()),
                 "{schedule:?}: unexpected cat {:?}",
                 obj["cat"].as_str()
             );
+        }
+
+        // Each task maps onto its event(s): compute tasks land on their
+        // stage's compute row; a transfer across boundary `b` produces a
+        // send on the source stage's comm row and a recv-wait on the
+        // destination's, both with the payload size in `args`.
+        for task in &run.tasks {
+            let dur = task.end_us - task.start_us;
+            match task.kind {
+                TaskKind::Fw | TaskKind::Bw => {
+                    let letter = if task.kind == TaskKind::Fw { "F" } else { "B" };
+                    let found =
+                        events_named(events, &format!("{letter}{}", task.micro), task.start_us);
+                    let on_stage: Vec<_> = found
+                        .iter()
+                        .filter(|o| o["pid"].as_f64() as usize == task.stage)
+                        .collect();
+                    assert_eq!(on_stage.len(), 1, "{schedule:?}: {task:?}");
+                    let obj = on_stage[0];
+                    assert_eq!(obj["tid"].as_f64() as usize, 0);
+                    assert!((obj["dur"].as_f64() - dur).abs() < 1e-3);
+                    assert_eq!(
+                        obj["args"].as_object()["micro"].as_f64() as usize,
+                        task.micro
+                    );
+                }
+                TaskKind::CommF | TaskKind::CommB => {
+                    let (src, dst) = if task.kind == TaskKind::CommF {
+                        (task.stage, task.stage + 1)
+                    } else {
+                        (task.stage + 1, task.stage)
+                    };
+                    for (name, pid) in [
+                        (format!("send{}", task.micro), src),
+                        (format!("recv-wait{}", task.micro), dst),
+                    ] {
+                        let found = events_named(events, &name, task.start_us);
+                        let hit = found
+                            .iter()
+                            .find(|o| o["pid"].as_f64() as usize == pid)
+                            .unwrap_or_else(|| {
+                                panic!("{schedule:?}: no {name:?} on pid {pid} for {task:?}")
+                            });
+                        assert_eq!(hit["tid"].as_f64() as usize, 1, "comm row");
+                        assert!((hit["dur"].as_f64() - dur).abs() < 1e-3);
+                        let args = hit["args"].as_object();
+                        assert_eq!(args["micro"].as_f64() as u64, task.micro as u64);
+                        assert_eq!(args["bytes"].as_f64() as u64, task.bytes);
+                        assert!(task.bytes > 0, "transfers move real bytes");
+                    }
+                }
+                TaskKind::AllReduce => {
+                    let found = events_named(events, "AllReduce", task.start_us);
+                    assert!(!found.is_empty(), "{schedule:?}: {task:?}");
+                    assert_eq!(
+                        found[0]["args"].as_object()["bytes"].as_f64() as u64,
+                        task.bytes
+                    );
+                }
+            }
         }
     }
 }

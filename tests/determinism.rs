@@ -67,7 +67,43 @@ fn build_cfg(
         recv_timeout: Duration::from_secs(5),
         nan_policy: NanPolicy::AbortStep,
         buffer_reuse,
+        tracing: false,
     }
+}
+
+/// Tracing observes the same determinism the numerics do: two identical
+/// traced runs record the same spans in the same per-worker order —
+/// timestamps differ (wall clock), the event *structure* must not.
+#[test]
+fn traced_runs_have_identical_event_order() {
+    let event_orders = || {
+        let mut cfg = build_cfg(3, 3, 0b10, 1, 0, 2, true);
+        cfg.tracing = true;
+        let trainer = PipelineTrainer::new(MlpModel::new(&DIMS, 77), cfg).unwrap();
+        let (x, t) = data::regression_batch(BATCH, DIMS[0], *DIMS.last().unwrap(), 9);
+        let out = trainer
+            .step_grads_with_faults(&x, &t, &FaultPlan::new())
+            .unwrap();
+        let trace = out.trace.expect("tracing on");
+        trace
+            .workers
+            .iter()
+            .map(|w| {
+                (
+                    w.stage,
+                    w.replica,
+                    w.spans
+                        .iter()
+                        .map(|s| (s.kind, s.micro, s.bytes))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let a = event_orders();
+    let b = event_orders();
+    assert!(!a.is_empty() && a.iter().all(|(_, _, spans)| !spans.is_empty()));
+    assert_eq!(a, b, "event order must not depend on thread timing");
 }
 
 proptest! {

@@ -25,6 +25,7 @@ fn to_engine_config(plan: &dapple::core::Plan, micro_batches: usize) -> EngineCo
         recv_timeout: std::time::Duration::from_secs(5),
         nan_policy: dapple::engine::NanPolicy::AbortStep,
         buffer_reuse: true,
+        tracing: false,
     }
 }
 

@@ -1,0 +1,205 @@
+//! The engine's measured traces: a traced 1F1B run exports a
+//! Perfetto-loadable Chrome trace covering every micro-batch on every
+//! stage, tracing stays off by default, derived metrics are consistent,
+//! and a step that dies mid-flight (injected worker panic) still drains a
+//! well-formed partial trace from the surviving workers.
+
+mod common;
+
+use common::Parser;
+use dapple::core::DappleError;
+use dapple::engine::{
+    data, EngineConfig, FaultKind, FaultPlan, LossKind, MlpModel, NanPolicy, PipelineTrainer,
+    SpanKind,
+};
+use dapple::sim::{KPolicy, Schedule};
+use std::time::Duration;
+
+const DIMS: [usize; 7] = [5, 12, 10, 8, 8, 4, 3];
+const BATCH: usize = 24;
+
+fn traced_cfg(stage_bounds: Vec<std::ops::Range<usize>>, micro_batches: usize) -> EngineConfig {
+    let n = stage_bounds.len();
+    EngineConfig {
+        stage_bounds,
+        replication: vec![1; n],
+        schedule: Schedule::Dapple(KPolicy::PA),
+        micro_batches,
+        recompute: false,
+        lr: 0.1,
+        max_in_flight: usize::MAX,
+        loss: LossKind::Mse,
+        recv_timeout: Duration::from_secs(5),
+        nan_policy: NanPolicy::AbortStep,
+        buffer_reuse: true,
+        tracing: true,
+    }
+}
+
+#[test]
+fn tracing_is_off_by_default() {
+    let cfg = EngineConfig::straight(vec![0..3, 3..6], 4, 0.1);
+    assert!(!cfg.tracing);
+    let trainer = PipelineTrainer::new(MlpModel::new(&DIMS, 7), cfg).unwrap();
+    let (x, t) = data::regression_batch(BATCH, DIMS[0], *DIMS.last().unwrap(), 9);
+    let out = trainer
+        .step_grads_with_faults(&x, &t, &FaultPlan::new())
+        .unwrap();
+    assert!(out.trace.is_none(), "no trace without the knob");
+}
+
+/// A traced 3-stage, 4-micro-batch run covers every (stage, micro) with
+/// forward and backward spans, shows comm on both endpoints, and exports
+/// valid Chrome Trace JSON.
+#[test]
+fn traced_step_exports_complete_parseable_timeline() {
+    let trainer = PipelineTrainer::new(
+        MlpModel::new(&DIMS, 7),
+        traced_cfg(vec![0..2, 2..4, 4..6], 4),
+    )
+    .unwrap();
+    let (x, t) = data::regression_batch(BATCH, DIMS[0], *DIMS.last().unwrap(), 9);
+    let out = trainer
+        .step_grads_with_faults(&x, &t, &FaultPlan::new())
+        .unwrap();
+    let trace = out.trace.expect("tracing on");
+    assert_eq!(trace.workers.len(), 3);
+    assert_eq!(trace.dropped_spans(), 0, "ring must be sized for the step");
+
+    for w in &trace.workers {
+        for u in 0..4u32 {
+            for kind in [SpanKind::Fw, SpanKind::Bw] {
+                assert!(
+                    w.spans.iter().any(|s| s.kind == kind && s.micro == u),
+                    "stage {} missing {kind:?} micro {u}",
+                    w.stage
+                );
+            }
+        }
+        // Spans never run backwards, and are recorded in program order.
+        for s in &w.spans {
+            assert!(s.end_ns >= s.start_ns);
+        }
+        // Interior stages both wait for input and send output.
+        let sends = w
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::CommSend)
+            .count();
+        let waits = w
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::CommRecvWait)
+            .count();
+        match w.stage {
+            0 => assert!(sends >= 4 && waits == 4, "first stage: fw sends, bw waits"),
+            1 => assert!(
+                sends >= 8 && waits == 8,
+                "middle stage sends+waits both ways"
+            ),
+            _ => assert!(sends >= 4 && waits == 4, "last stage: bw sends, fw waits"),
+        }
+        // Comm spans carry the payload size.
+        assert!(w
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::CommSend)
+            .all(|s| s.bytes > 0));
+    }
+
+    // The export is real JSON with the documented row layout.
+    let json = trace.to_chrome_trace();
+    let root = Parser::parse(&json).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{json}"));
+    let events = root.as_array();
+    // 3 stages x 4 micro x (Fw + Bw) = 24 compute events at minimum, plus
+    // comm spans.
+    assert!(events.len() >= 24 + 16, "got {}", events.len());
+    for e in events {
+        let obj = e.as_object();
+        assert_eq!(obj["ph"].as_str(), "X");
+        assert!(obj["pid"].as_f64() as usize <= 3);
+        assert!(obj["args"].as_object().contains_key("replica"));
+    }
+    // Comm rows are odd tids; compute rows even.
+    assert!(events
+        .iter()
+        .map(|e| e.as_object())
+        .filter(|o| o["cat"].as_str() == "comm")
+        .all(|o| o["tid"].as_f64() as usize % 2 == 1));
+
+    // Metrics are internally consistent.
+    let m = trace.metrics();
+    assert!(m.makespan_ns > 0);
+    assert!((m.phases.total_us() - m.makespan_ns as f64 / 1e3).abs() < 1e-6);
+    for s in &m.stages {
+        assert!(s.busy_ns > 0, "every stage computed something");
+        assert!(s.busy_fraction > 0.0 && s.busy_fraction <= 1.0);
+        assert!((s.bubble_ratio + s.busy_fraction - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Replicated stages trace each replica on its own rows, and the
+/// coordinator's AllReduce span lands on the stage with the payload size.
+#[test]
+fn replicated_traced_step_records_allreduce() {
+    let mut cfg = traced_cfg(vec![0..3, 3..6], 4);
+    cfg.replication = vec![2, 1];
+    let trainer = PipelineTrainer::new(MlpModel::new(&DIMS, 7), cfg).unwrap();
+    let (x, t) = data::regression_batch(BATCH, DIMS[0], *DIMS.last().unwrap(), 9);
+    let out = trainer
+        .step_grads_with_faults(&x, &t, &FaultPlan::new())
+        .unwrap();
+    let trace = out.trace.expect("tracing on");
+    assert_eq!(trace.workers.len(), 3, "2 + 1 replicas");
+    assert!(trace.workers.iter().any(|w| w.stage == 0 && w.replica == 1));
+    let ar: Vec<_> = trace
+        .coord
+        .iter()
+        .filter(|c| c.span.kind == SpanKind::AllReduce)
+        .collect();
+    assert_eq!(ar.len(), 1, "one replicated stage, one AllReduce");
+    assert_eq!(ar[0].stage, Some(0));
+    assert!(ar[0].span.bytes > 0);
+    let json = trace.to_chrome_trace();
+    Parser::parse(&json).unwrap_or_else(|e| panic!("invalid JSON: {e}"));
+    // Replica 1's compute row is tid 2; the AllReduce row sits past both
+    // replica pairs at tid 4.
+    assert!(json.contains(r#""tid":2"#));
+    assert!(json.contains(r#""name":"AllReduce","cat":"allreduce","ph":"X""#));
+}
+
+/// A worker panic mid-step still yields a partial trace: the error
+/// surfaces as `WorkerPanicked`, and the spans recorded before the fault
+/// — including the whole warmup on the healthy upstream stage — survive.
+#[test]
+fn faulted_step_drains_partial_trace() {
+    let trainer =
+        PipelineTrainer::new(MlpModel::new(&DIMS, 7), traced_cfg(vec![0..3, 3..6], 4)).unwrap();
+    let (x, t) = data::regression_batch(BATCH, DIMS[0], *DIMS.last().unwrap(), 9);
+    // Panic stage 1 at its third scheduled step.
+    let faults = FaultPlan::new().with_fault(1, 0, 2, FaultKind::Panic);
+    let (result, trace) = trainer.step_with_trace(&x, &t, &faults);
+    match result {
+        Err(DappleError::WorkerPanicked { stage: 1, .. }) => {}
+        other => panic!("expected stage-1 panic, got {other:?}"),
+    }
+    let trace = trace.expect("partial trace survives the fault");
+    // Stage 0 is never told about the fault: its forwards are recorded.
+    let stage0 = trace.workers.iter().find(|w| w.stage == 0).unwrap();
+    assert!(
+        stage0.spans.iter().any(|s| s.kind == SpanKind::Fw),
+        "upstream forwards happened before the crash"
+    );
+    // Stage 1 recorded fewer than a full step's worth of spans but at
+    // least its pre-fault work, all well-formed.
+    let stage1 = trace.workers.iter().find(|w| w.stage == 1).unwrap();
+    assert!(!stage1.spans.is_empty(), "pre-fault spans drained");
+    for w in &trace.workers {
+        for s in &w.spans {
+            assert!(s.end_ns >= s.start_ns);
+        }
+    }
+    // And the partial timeline still exports as valid JSON.
+    let json = trace.to_chrome_trace();
+    Parser::parse(&json).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{json}"));
+}
