@@ -4,22 +4,31 @@
 //! hit/miss counters).
 //!
 //! ```text
-//! cargo run --release -p dapple-bench --bin dapple-bench -- [--smoke] [--out PATH] [--trace PATH]
+//! cargo run --release -p dapple-bench --bin dapple-bench -- \
+//!     [--smoke] [--out PATH] [--trace PATH] [--recovery-log PATH]
 //! ```
 //!
-//! Writes a hand-rolled JSON report (default `BENCH_3.json`): one record
+//! Writes a hand-rolled JSON report (default `BENCH_4.json`): one record
 //! per measurement with iteration count, wall time and, where it makes
 //! sense, derived throughput — plus the observability records from this
 //! repo's tracing subsystem: step-tracing overhead (on vs. off), measured
 //! bubble ratio and per-stage busy fractions from a traced 1F1B step, and
 //! the predicted-vs-actual phase errors from
-//! [`dapple_bench::validate`]. `--trace PATH` additionally exports the
-//! measured step as a Perfetto-loadable Chrome Trace Event file.
-//! `--smoke` shrinks every shape so the whole run finishes in a couple of
-//! seconds — that mode exists for CI, not for comparing numbers.
+//! [`dapple_bench::validate`]. The recovery group measures checkpoint
+//! save/load latency, the transactional supervisor's clean-step cost,
+//! the wall-clock overhead of a step that faults once and is retried,
+//! and the supervisor's virtual-time MTTR. `--trace PATH` additionally
+//! exports the measured step as a Perfetto-loadable Chrome Trace Event
+//! file; `--recovery-log PATH` dumps the supervisor's recovery-event log
+//! as JSON. `--smoke` shrinks every shape so the whole run finishes in a
+//! couple of seconds — that mode exists for CI, not for comparing
+//! numbers.
 
 use dapple_bench::validate::{run_validation, Scenario};
-use dapple_engine::{data, EngineConfig, FaultPlan, MlpModel, PipelineTrainer, Tensor};
+use dapple_engine::{
+    data, DataStream, EngineConfig, FaultKind, FaultPlan, MlpModel, Optimizer, PipelineTrainer,
+    RetryPolicy, Supervisor, Tensor, TrainLoop,
+};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -239,6 +248,115 @@ fn tracing_overhead_benches(smoke: bool, out: &mut Vec<Record>, trace_path: Opti
     }
 }
 
+/// Recovery costs: checkpoint save/load latency, the supervisor's
+/// clean-step baseline, the overhead of a step that faults once and is
+/// replayed, and the virtual-time MTTR the retry policy implies.
+fn recovery_benches(smoke: bool, out: &mut Vec<Record>, recovery_log: Option<&str>) {
+    let (dims, batch, iters): (Vec<usize>, usize, u32) = if smoke {
+        (vec![5, 12, 10, 8, 8, 4, 3], 24, 5)
+    } else {
+        (vec![64, 256, 256, 256, 256, 128, 32], 128, 10)
+    };
+    let in_dim = dims[0];
+    let out_dim = *dims.last().unwrap();
+    let mk_loop = || {
+        let model = MlpModel::new(&dims, 3);
+        let optimizer = Optimizer::adam(0.01, &model);
+        let cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+        TrainLoop::new(
+            model,
+            cfg,
+            optimizer,
+            DataStream::new(11, batch, in_dim, out_dim),
+        )
+        .unwrap()
+    };
+
+    // Checkpoint v2 serialization / resume latency on a warmed-up loop
+    // (Adam: the checkpoint carries two moment buffers per layer).
+    let mut lp = mk_loop();
+    lp.run(2).unwrap();
+    let bytes = lp.save_bytes();
+    let save_ns = time_ns(iters, || {
+        black_box(lp.save_bytes().len());
+    });
+    out.push(Record {
+        group: "recovery",
+        name: "checkpoint_v2_save".into(),
+        iters,
+        ns_per_iter: save_ns,
+        extra: vec![("bytes", bytes.len().to_string())],
+    });
+    let cfg = lp.config().clone();
+    let load_ns = time_ns(iters, || {
+        let restored = TrainLoop::resume_bytes(&bytes, cfg.clone()).unwrap();
+        black_box(restored.step());
+    });
+    out.push(Record {
+        group: "recovery",
+        name: "checkpoint_v2_load".into(),
+        iters,
+        ns_per_iter: load_ns,
+        extra: vec![("bytes", bytes.len().to_string())],
+    });
+
+    // Transactional supervised step, never faulted: the price of the
+    // pre-step snapshot relative to a bare pipeline step is what the
+    // alloc-count tests keep at zero allocations.
+    let mut sup = Supervisor::new(mk_loop(), RetryPolicy::default());
+    let clean_ns = time_ns(iters, || {
+        let s = sup.step_with(&mut |_, _| FaultPlan::new()).unwrap();
+        black_box(s.loss);
+    });
+    out.push(Record {
+        group: "recovery",
+        name: "supervised_step_clean".into(),
+        iters,
+        ns_per_iter: clean_ns,
+        extra: vec![("retries", sup.metrics().retries.to_string())],
+    });
+
+    // A step whose first attempt panics mid-pipeline and is replayed:
+    // rollback + retry, measured end to end.
+    let mut sup = Supervisor::new(mk_loop(), RetryPolicy::default());
+    let recovered_ns = time_ns(iters, || {
+        let s = sup
+            .step_with(&mut |_, attempt| {
+                if attempt == 0 {
+                    FaultPlan::new().with_fault(1, 0, 3, FaultKind::Panic)
+                } else {
+                    FaultPlan::new()
+                }
+            })
+            .unwrap();
+        black_box(s.loss);
+    });
+    let m = sup.metrics();
+    out.push(Record {
+        group: "recovery",
+        name: "supervised_step_recovered".into(),
+        iters,
+        ns_per_iter: recovered_ns,
+        extra: vec![
+            (
+                "overhead_pct",
+                json_f64((recovered_ns - clean_ns) / clean_ns.max(1.0) * 100.0),
+            ),
+            ("retries", m.retries.to_string()),
+            ("rollbacks", m.rollbacks.to_string()),
+            ("mttr_virtual_us", json_f64(m.mttr_virtual_us)),
+        ],
+    });
+
+    if let Some(path) = recovery_log {
+        std::fs::write(path, sup.events_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write recovery log {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[dapple-bench] wrote recovery event log to {path}");
+    }
+}
+
 /// Predicted-vs-actual: simulator timeline vs. the traced engine step.
 fn validation_benches(smoke: bool, out: &mut Vec<Record>) {
     let scenario = if smoke {
@@ -304,8 +422,9 @@ fn render_json(mode: &str, records: &[Record]) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_3.json".to_string();
+    let mut out_path = "BENCH_4.json".to_string();
     let mut trace_path: Option<String> = None;
+    let mut recovery_log: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -329,8 +448,21 @@ fn main() {
                         .clone(),
                 );
             }
+            "--recovery-log" => {
+                recovery_log = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--recovery-log needs a path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
             _ => {
-                eprintln!("usage: dapple-bench [--smoke] [--out PATH] [--trace PATH]");
+                eprintln!(
+                    "usage: dapple-bench [--smoke] [--out PATH] [--trace PATH] \
+                     [--recovery-log PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -346,6 +478,8 @@ fn main() {
     engine_benches(smoke, &mut records);
     eprintln!("[dapple-bench] tracing overhead ({mode})...");
     tracing_overhead_benches(smoke, &mut records, trace_path.as_deref());
+    eprintln!("[dapple-bench] fault recovery ({mode})...");
+    recovery_benches(smoke, &mut records, recovery_log.as_deref());
     eprintln!("[dapple-bench] predicted vs actual ({mode})...");
     validation_benches(smoke, &mut records);
 

@@ -73,6 +73,31 @@ pub enum DappleError {
         /// Step index the worker was blocked on.
         step: usize,
     },
+    /// The recovery supervisor gave up on a training step: every retry
+    /// budgeted by the policy failed (and no degraded-mode fallback was
+    /// left). Carries the coordinates of the last failure so operators
+    /// can locate the sick worker.
+    RetriesExhausted {
+        /// Stage of the last observed failure.
+        stage: usize,
+        /// Replica within the stage.
+        replica: usize,
+        /// Training-step number that could not be completed.
+        step: u64,
+        /// How many attempts were made (including the first).
+        attempts: usize,
+        /// The error of the final attempt.
+        last: Box<DappleError>,
+    },
+    /// A training step failed with an error the retry policy classifies
+    /// as fatal (misconfiguration rather than a transient fault) —
+    /// retrying would deterministically fail again.
+    FatalFault {
+        /// Training-step number the fatal error surfaced at.
+        step: u64,
+        /// The underlying error.
+        source: Box<DappleError>,
+    },
 }
 
 impl fmt::Display for DappleError {
@@ -123,6 +148,20 @@ impl fmt::Display for DappleError {
                 f,
                 "channel closed: stage {stage} replica {replica} disconnected at step {step}"
             ),
+            DappleError::RetriesExhausted {
+                stage,
+                replica,
+                step,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "retries exhausted: training step {step} failed {attempts} times, \
+                 last at stage {stage} replica {replica}: {last}"
+            ),
+            DappleError::FatalFault { step, source } => {
+                write!(f, "fatal fault at training step {step}: {source}")
+            }
         }
     }
 }
@@ -196,6 +235,36 @@ mod tests {
             assert!(s.contains(needle), "{s} should mention {needle}");
             assert!(s.contains("stage"), "{s} should carry coordinates");
         }
+    }
+
+    #[test]
+    fn recovery_errors_carry_coordinates_and_cause() {
+        let last = DappleError::Stalled {
+            stage: 1,
+            replica: 0,
+            step: 5,
+        };
+        let e = DappleError::RetriesExhausted {
+            stage: 1,
+            replica: 0,
+            step: 42,
+            attempts: 3,
+            last: Box::new(last.clone()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("retries exhausted"));
+        assert!(s.contains("step 42"));
+        assert!(s.contains("3 times"));
+        assert!(s.contains("stalled"), "cause must be rendered: {s}");
+        let f = DappleError::FatalFault {
+            step: 7,
+            source: Box::new(DappleError::InvalidConfig("bad split".into())),
+        };
+        let s = f.to_string();
+        assert!(s.contains("fatal fault at training step 7"));
+        assert!(s.contains("bad split"));
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, f);
     }
 
     #[test]

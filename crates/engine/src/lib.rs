@@ -28,16 +28,23 @@ pub mod loss;
 pub mod model;
 pub mod optim;
 pub mod pipeline;
+pub mod recovery;
 pub mod tensor;
 pub mod trace;
 
+pub use checkpoint::TrainState;
 pub use fault::{FaultKind, FaultPlan, NanPolicy};
 pub use layer::{Activation, Dense};
 pub use loss::LossKind;
 pub use model::{MlpModel, StepStats};
 pub use optim::Optimizer;
 pub use pipeline::{EngineConfig, PipelineTrainer, StepOutcome};
+pub use recovery::{
+    DataStream, FaultClass, RecoveryEvent, RecoveryEventKind, RecoveryMetrics, RetryPolicy,
+    Supervisor, TrainLoop,
+};
 pub use tensor::Tensor;
 pub use trace::{
-    Span, SpanKind, SpanRing, SpanWriter, StageMetrics, StepMetrics, StepTrace, WorkerTrace,
+    RecoveryStepMetrics, Span, SpanKind, SpanRing, SpanWriter, StageMetrics, StepMetrics,
+    StepTrace, WorkerTrace,
 };

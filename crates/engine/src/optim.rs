@@ -9,7 +9,7 @@ use crate::layer::DenseGrads;
 use crate::model::MlpModel;
 
 /// Optimizer state and update rule, applied model-wide.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Optimizer {
     /// Plain SGD: `w -= lr * g`.
     Sgd {

@@ -1,0 +1,1057 @@
+//! Fault recovery for the 1F1B runtime: transactional steps, a retrying
+//! supervisor with degraded-mode continuation, and full-state
+//! checkpoint/resume.
+//!
+//! DAPPLE's training runs are week-long and synchronous (paper §1, §6):
+//! a failure must be answered with *exact* rollback and replay, not the
+//! relaxed consistency asynchronous schemes settle for. This module
+//! closes the loop that fault *injection* (PR 1) opened:
+//!
+//! * [`TrainLoop`] drives a [`PipelineTrainer`] + [`Optimizer`] over a
+//!   deterministic [`DataStream`], and makes every step **transactional**:
+//!   model weights, optimizer state, the step counter and the data cursor
+//!   are snapshotted into reusable buffers before the step and restored
+//!   bit-exactly if anything fails — so a step that dies mid-flight
+//!   (including after the gradient AllReduce, in the optimizer apply
+//!   path) leaves no trace. Snapshots go through `clone_from`, so the
+//!   no-fault steady state allocates nothing for them after warmup.
+//! * [`Supervisor`] wraps the loop with a [`RetryPolicy`]: bounded
+//!   attempts, deterministic exponential backoff in **virtual time**
+//!   (recorded, never slept — tests stay fast and reproducible), and
+//!   per-error classification into retryable faults vs fatal
+//!   misconfiguration. When a stage replica exhausts its retry budget
+//!   the supervisor continues in **degraded mode**: the replica is
+//!   dropped, the surviving replicas re-shard the micro-batch rows (the
+//!   gradient average is implicitly rescaled to the surviving replica
+//!   count, since every row is still processed exactly once), and the
+//!   reconfiguration is recorded as a [`RecoveryEventKind::ReplicaDropped`].
+//! * Checkpoint v2 ([`crate::checkpoint::state_to_bytes`]) carries the
+//!   full [`TrainState`]; [`TrainLoop::resume`] reproduces a trajectory
+//!   bit-identical to an uninterrupted run (asserted by the
+//!   kill-at-step-k proptests in `tests/recovery.rs`).
+//!
+//! Every recovery action — retry, rollback, replica drop, checkpoint
+//! save/load — is logged as a [`RecoveryEvent`] with a virtual-time
+//! stamp, summarized by [`RecoveryMetrics`] (MTTR, recovered-step
+//! overhead) and, when tracing is on, folded into the step's
+//! [`StepMetrics`] so `dapple-bench` can report it in BENCH_4.json.
+
+use crate::checkpoint::{self, TrainState};
+use crate::data;
+use crate::fault::FaultPlan;
+use crate::model::{MlpModel, StepStats};
+use crate::optim::Optimizer;
+use crate::pipeline::{EngineConfig, PipelineTrainer};
+use crate::tensor::Tensor;
+use crate::trace::{RecoveryStepMetrics, StepMetrics, StepTrace};
+use dapple_core::{DappleError, Result};
+use std::time::Instant;
+
+/// A deterministic stream of training batches: batch `k` is a pure
+/// function of `(seed, k)`, so checkpointing `(seed, cursor)` is enough
+/// to resume the exact sample sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataStream {
+    seed: u64,
+    cursor: u64,
+    samples: usize,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl DataStream {
+    /// A stream of `samples x in_dim -> samples x out_dim` batches.
+    pub fn new(seed: u64, samples: usize, in_dim: usize, out_dim: usize) -> Self {
+        DataStream {
+            seed,
+            cursor: 0,
+            samples,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// The next batch; advances the cursor.
+    pub fn next_batch(&mut self) -> (Tensor, Tensor) {
+        let s = self
+            .seed
+            .wrapping_add((self.cursor.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.cursor += 1;
+        data::regression_batch(self.samples, self.in_dim, self.out_dim, s)
+    }
+
+    /// Batches already drawn.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Stream seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Samples per batch.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+}
+
+/// Reusable pre-step snapshot: capture before, restore on failure.
+/// All copies go through `clone_from`, which reuses the existing
+/// allocations — after the first capture the transaction machinery
+/// performs no heap allocation on the no-fault path.
+#[derive(Debug)]
+struct TxSnapshot {
+    model: MlpModel,
+    optimizer: Optimizer,
+    step: u64,
+    cursor: u64,
+}
+
+impl TxSnapshot {
+    fn capture_into(slot: &mut Option<TxSnapshot>, loop_: &TrainLoopParts<'_>) {
+        match slot {
+            Some(tx) => {
+                tx.model.clone_from(loop_.model);
+                tx.optimizer.clone_from(loop_.optimizer);
+                tx.step = loop_.step;
+                tx.cursor = loop_.cursor;
+            }
+            None => {
+                *slot = Some(TxSnapshot {
+                    model: loop_.model.clone(),
+                    optimizer: loop_.optimizer.clone(),
+                    step: loop_.step,
+                    cursor: loop_.cursor,
+                });
+            }
+        }
+    }
+}
+
+/// Borrowed view of the mutable training state, for snapshotting.
+struct TrainLoopParts<'a> {
+    model: &'a MlpModel,
+    optimizer: &'a Optimizer,
+    step: u64,
+    cursor: u64,
+}
+
+/// A training loop with transactional steps and full-state
+/// checkpointing. See the module docs for the recovery story.
+pub struct TrainLoop {
+    trainer: PipelineTrainer,
+    optimizer: Optimizer,
+    data: DataStream,
+    step: u64,
+    tx: Option<TxSnapshot>,
+    /// Wall-clock cost of the most recent rollback, ns.
+    last_rollback_ns: u64,
+    /// Trace of the most recent *successful* step (tracing on only).
+    last_trace: Option<StepTrace>,
+}
+
+impl TrainLoop {
+    /// Builds a loop; validates that the stream shape matches the model
+    /// and that batches split evenly into the configured micro-batches.
+    pub fn new(
+        model: MlpModel,
+        cfg: EngineConfig,
+        optimizer: Optimizer,
+        stream: DataStream,
+    ) -> Result<Self> {
+        let in_dim = model.layers.first().map_or(0, |l| l.in_dim());
+        let out_dim = model.layers.last().map_or(0, |l| l.out_dim());
+        if stream.in_dim != in_dim || stream.out_dim != out_dim {
+            return Err(DappleError::InvalidConfig(format!(
+                "data stream shape {}x{} does not match model {}x{}",
+                stream.in_dim, stream.out_dim, in_dim, out_dim
+            )));
+        }
+        if cfg.micro_batches == 0 || !stream.samples.is_multiple_of(cfg.micro_batches) {
+            return Err(DappleError::InvalidConfig(format!(
+                "batch of {} samples not divisible by {} micro-batches",
+                stream.samples, cfg.micro_batches
+            )));
+        }
+        let trainer = PipelineTrainer::new(model, cfg)?;
+        Ok(TrainLoop {
+            trainer,
+            optimizer,
+            data: stream,
+            step: 0,
+            tx: None,
+            last_rollback_ns: 0,
+            last_trace: None,
+        })
+    }
+
+    /// Rebuilds a loop from a checkpointed state (the engine config is
+    /// runtime-local and supplied by the caller).
+    pub fn from_state(state: TrainState, cfg: EngineConfig) -> Result<Self> {
+        let in_dim = state.model.layers.first().map_or(0, |l| l.in_dim());
+        let out_dim = state.model.layers.last().map_or(0, |l| l.out_dim());
+        let mut stream = DataStream::new(
+            state.data_seed,
+            state.batch_samples as usize,
+            in_dim,
+            out_dim,
+        );
+        stream.cursor = state.data_cursor;
+        let mut lp = TrainLoop::new(state.model, cfg, state.optimizer, stream)?;
+        lp.step = state.step;
+        Ok(lp)
+    }
+
+    /// Resumes from v2 checkpoint bytes.
+    pub fn resume_bytes(bytes: &[u8], cfg: EngineConfig) -> Result<Self> {
+        TrainLoop::from_state(checkpoint::state_from_bytes(bytes)?, cfg)
+    }
+
+    /// Resumes from a v2 checkpoint file.
+    pub fn resume(path: &std::path::Path, cfg: EngineConfig) -> Result<Self> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| DappleError::InvalidConfig(format!("cannot read checkpoint: {e}")))?;
+        TrainLoop::resume_bytes(&bytes, cfg)
+    }
+
+    /// Completed training steps.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// The current model.
+    pub fn model(&self) -> &MlpModel {
+        &self.trainer.model
+    }
+
+    /// The current optimizer state.
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// The engine configuration driving the pipeline.
+    pub fn config(&self) -> &EngineConfig {
+        self.trainer.config()
+    }
+
+    /// The deterministic data stream.
+    pub fn data(&self) -> &DataStream {
+        &self.data
+    }
+
+    /// Wall-clock cost of the most recent rollback, ns.
+    pub fn last_rollback_ns(&self) -> u64 {
+        self.last_rollback_ns
+    }
+
+    /// The trace of the most recent successful step (`None` unless
+    /// [`EngineConfig::tracing`] is on).
+    pub fn last_trace(&self) -> Option<&StepTrace> {
+        self.last_trace.as_ref()
+    }
+
+    /// The full training state (cloned), ready for serialization.
+    pub fn state(&self) -> TrainState {
+        TrainState {
+            model: self.trainer.model.clone(),
+            optimizer: self.optimizer.clone(),
+            step: self.step,
+            data_seed: self.data.seed,
+            data_cursor: self.data.cursor,
+            batch_samples: self.data.samples as u32,
+        }
+    }
+
+    /// Serializes the full state as v2 checkpoint bytes.
+    pub fn save_bytes(&self) -> Vec<u8> {
+        checkpoint::state_to_bytes(&self.state())
+    }
+
+    /// Writes a v2 checkpoint file.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.save_bytes())
+            .map_err(|e| DappleError::InvalidConfig(format!("cannot write checkpoint: {e}")))
+    }
+
+    /// One transactional training step under a fault plan.
+    ///
+    /// All-or-nothing: on success the model, optimizer, step counter and
+    /// data cursor advance together; on *any* failure every one of them
+    /// is restored bit-exactly to its pre-step value (so a retry re-reads
+    /// the same batch), and the error is returned untouched.
+    pub fn try_step(&mut self, faults: &FaultPlan) -> Result<StepStats> {
+        TxSnapshot::capture_into(
+            &mut self.tx,
+            &TrainLoopParts {
+                model: &self.trainer.model,
+                optimizer: &self.optimizer,
+                step: self.step,
+                cursor: self.data.cursor,
+            },
+        );
+        let (x, t) = self.data.next_batch();
+        let (result, trace) = self.trainer.step_with_trace(&x, &t, faults);
+        match result {
+            Ok(out) => {
+                self.optimizer.step(&mut self.trainer.model, &out.grads);
+                self.step += 1;
+                self.last_trace = trace;
+                Ok(StepStats {
+                    loss: out.loss,
+                    samples: x.rows,
+                })
+            }
+            Err(e) => {
+                let t0 = Instant::now();
+                self.rollback();
+                self.last_rollback_ns = t0.elapsed().as_nanos() as u64;
+                Err(e)
+            }
+        }
+    }
+
+    /// Restores the pre-step snapshot (model, optimizer, counters).
+    fn rollback(&mut self) {
+        let tx = self.tx.as_ref().expect("rollback without capture");
+        self.trainer.model.clone_from(&tx.model);
+        self.optimizer.clone_from(&tx.optimizer);
+        self.step = tx.step;
+        self.data.cursor = tx.cursor;
+    }
+
+    /// Runs `steps` fault-free transactional steps; returns the losses.
+    pub fn run(&mut self, steps: u64) -> Result<Vec<f32>> {
+        let plan = FaultPlan::new();
+        (0..steps).map(|_| Ok(self.try_step(&plan)?.loss)).collect()
+    }
+
+    /// Swaps in a new engine configuration (degraded-mode reshard) while
+    /// keeping model, optimizer and cursors.
+    pub fn reconfigure(&mut self, cfg: EngineConfig) -> Result<()> {
+        let model = self.trainer.model.clone();
+        self.trainer = PipelineTrainer::new(model, cfg)?;
+        Ok(())
+    }
+}
+
+/// Is an error worth retrying, or deterministically fatal?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Transient runtime fault (stall, crash, lost/duplicated message,
+    /// non-finite gradients): a replay may succeed.
+    Retryable,
+    /// Structural error (invalid config, shape mismatch): replaying the
+    /// same step would fail identically.
+    Fatal,
+}
+
+/// Bounded-retry policy with deterministic virtual-time backoff.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per step per pipeline configuration (first try included).
+    pub max_attempts: usize,
+    /// Backoff before retry `k` is `base_backoff_us << (k - 1)` —
+    /// accumulated on the virtual clock, never slept.
+    pub base_backoff_us: u64,
+    /// Whether exhausting a replicated stage's retries drops the replica
+    /// and continues degraded (instead of failing the run).
+    pub allow_degraded: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 1_000,
+            allow_degraded: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Classifies an error. Every fault the injection harness can
+    /// produce ([`crate::FaultKind`]) surfaces as one of the retryable
+    /// variants; config/shape errors are fatal.
+    pub fn classify(e: &DappleError) -> FaultClass {
+        match e {
+            DappleError::Stalled { .. }
+            | DappleError::WorkerPanicked { .. }
+            | DappleError::NonFinite { .. }
+            | DappleError::ChannelProtocol { .. }
+            | DappleError::ChannelClosed { .. } => FaultClass::Retryable,
+            _ => FaultClass::Fatal,
+        }
+    }
+
+    /// Virtual backoff before retry `attempt` (1-based), µs.
+    pub fn backoff_us(&self, attempt: usize) -> u64 {
+        self.base_backoff_us
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+    }
+}
+
+/// What the supervisor did, and when (virtual µs since run start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// Training step the event belongs to.
+    pub step: u64,
+    /// Virtual timestamp, µs.
+    pub virtual_us: u64,
+    /// The action taken.
+    pub kind: RecoveryEventKind,
+}
+
+/// The supervisor's possible actions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEventKind {
+    /// A step attempt failed and was rolled back (wall-clock cost
+    /// recorded).
+    Rollback {
+        /// Rollback duration, ns.
+        ns: u64,
+    },
+    /// A retry was scheduled after a retryable failure.
+    Retry {
+        /// 1-based retry number.
+        attempt: usize,
+        /// The error that triggered it.
+        error: DappleError,
+        /// Virtual backoff charged before the retry, µs.
+        backoff_us: u64,
+    },
+    /// A previously-failing step completed.
+    Recovered {
+        /// Attempts the step took in total.
+        attempts: usize,
+    },
+    /// A stage replica was dropped; the stage continues with `survivors`
+    /// replicas re-sharding the micro-batch rows.
+    ReplicaDropped {
+        /// Stage that lost a replica.
+        stage: usize,
+        /// Replica the failures were attributed to.
+        replica: usize,
+        /// Replicas remaining on the stage.
+        survivors: usize,
+    },
+    /// A v2 checkpoint was serialized.
+    CheckpointSaved {
+        /// Serialized size.
+        bytes: usize,
+        /// Wall-clock serialization cost, ns.
+        ns: u64,
+    },
+    /// A v2 checkpoint was deserialized and installed.
+    CheckpointLoaded {
+        /// Wall-clock deserialization cost, ns.
+        ns: u64,
+    },
+}
+
+/// Aggregate view of a supervised run's recovery activity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryMetrics {
+    /// Retries across all steps.
+    pub retries: usize,
+    /// Rollbacks across all steps (one per failed attempt).
+    pub rollbacks: usize,
+    /// Replicas dropped into degraded mode.
+    pub replica_drops: usize,
+    /// Steps that failed at least once but eventually completed.
+    pub recoveries: usize,
+    /// Virtual backoff accumulated over the whole run, µs.
+    pub total_backoff_us: u64,
+    /// Mean virtual time to repair a failing step, µs (0 if none failed).
+    pub mttr_virtual_us: f64,
+    /// Checkpoints serialized.
+    pub checkpoint_saves: usize,
+    /// Total wall-clock serialization cost, ns.
+    pub checkpoint_save_ns: u64,
+    /// Total wall-clock deserialization cost, ns.
+    pub checkpoint_load_ns: u64,
+}
+
+/// Wraps a [`TrainLoop`] with retry, degraded-mode and checkpoint
+/// policy. Faults are supplied per `(step, attempt)` by the caller —
+/// deterministic injection in tests, [`FaultPlan::new`] in production.
+pub struct Supervisor {
+    train: TrainLoop,
+    policy: RetryPolicy,
+    events: Vec<RecoveryEvent>,
+    virtual_us: u64,
+    checkpoint_every: Option<u64>,
+    last_checkpoint: Option<Vec<u8>>,
+    /// Set once a replica has been dropped; enables fault-plan pruning.
+    degraded: bool,
+    /// Recovery cost of the most recent step (folded into its
+    /// [`StepMetrics`] when tracing is on).
+    last_step_recovery: RecoveryStepMetrics,
+}
+
+impl Supervisor {
+    /// Supervises a training loop under a retry policy.
+    pub fn new(train: TrainLoop, policy: RetryPolicy) -> Self {
+        Supervisor {
+            train,
+            policy,
+            events: Vec::new(),
+            virtual_us: 0,
+            checkpoint_every: None,
+            last_checkpoint: None,
+            degraded: false,
+            last_step_recovery: RecoveryStepMetrics::default(),
+        }
+    }
+
+    /// Checkpoints (in memory) every `every` completed steps.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = Some(every.max(1));
+        self
+    }
+
+    /// The supervised loop.
+    pub fn train(&self) -> &TrainLoop {
+        &self.train
+    }
+
+    /// The recovery log, in order.
+    pub fn events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// The virtual clock, µs.
+    pub fn virtual_now_us(&self) -> u64 {
+        self.virtual_us
+    }
+
+    /// The most recent in-memory checkpoint, if any was taken.
+    pub fn last_checkpoint(&self) -> Option<&[u8]> {
+        self.last_checkpoint.as_deref()
+    }
+
+    /// Consumes the supervisor, returning the loop.
+    pub fn into_train(self) -> TrainLoop {
+        self.train
+    }
+
+    /// One supervised step. `faults(step, attempt)` supplies the plan
+    /// for each attempt; attempts reset when a replica is dropped (the
+    /// new configuration gets a fresh budget). Injection points aimed at
+    /// replicas that no longer exist are pruned — the failed hardware
+    /// took its faults with it.
+    pub fn step_with<F>(&mut self, faults: &mut F) -> Result<StepStats>
+    where
+        F: FnMut(u64, usize) -> FaultPlan,
+    {
+        let step = self.train.step();
+        self.last_step_recovery = RecoveryStepMetrics::default();
+        let mut attempt = 0usize;
+        let mut total_attempts = 0usize;
+        let fail_at_virtual = self.virtual_us;
+        loop {
+            total_attempts += 1;
+            let plan = self.prune_invalid(faults(step, attempt));
+            match self.train.try_step(&plan) {
+                Ok(stats) => {
+                    if total_attempts > 1 {
+                        self.events.push(RecoveryEvent {
+                            step,
+                            virtual_us: self.virtual_us,
+                            kind: RecoveryEventKind::Recovered {
+                                attempts: total_attempts,
+                            },
+                        });
+                        let _ = fail_at_virtual; // repair time = backoffs charged above
+                    }
+                    self.maybe_checkpoint();
+                    return Ok(stats);
+                }
+                Err(e) => {
+                    let rollback_ns = self.train.last_rollback_ns();
+                    self.last_step_recovery.rollback_ns += rollback_ns;
+                    self.events.push(RecoveryEvent {
+                        step,
+                        virtual_us: self.virtual_us,
+                        kind: RecoveryEventKind::Rollback { ns: rollback_ns },
+                    });
+                    if RetryPolicy::classify(&e) == FaultClass::Fatal {
+                        return Err(DappleError::FatalFault {
+                            step,
+                            source: Box::new(e),
+                        });
+                    }
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts {
+                        // Retry budget exhausted for this configuration:
+                        // drop the sick replica if the policy and the
+                        // pipeline shape allow it, else give up.
+                        let (stage, replica) = error_coords(&e).unwrap_or((0, 0));
+                        if self.policy.allow_degraded && self.drop_replica(step, stage, replica)? {
+                            attempt = 0;
+                            continue;
+                        }
+                        return Err(DappleError::RetriesExhausted {
+                            stage,
+                            replica,
+                            step,
+                            attempts: total_attempts,
+                            last: Box::new(e),
+                        });
+                    }
+                    let backoff = self.policy.backoff_us(attempt);
+                    self.virtual_us += backoff;
+                    self.last_step_recovery.retries += 1;
+                    self.events.push(RecoveryEvent {
+                        step,
+                        virtual_us: self.virtual_us,
+                        kind: RecoveryEventKind::Retry {
+                            attempt,
+                            error: e,
+                            backoff_us: backoff,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Runs `steps` supervised steps; returns the loss trajectory.
+    pub fn run<F>(&mut self, steps: u64, mut faults: F) -> Result<Vec<f32>>
+    where
+        F: FnMut(u64, usize) -> FaultPlan,
+    {
+        (0..steps)
+            .map(|_| Ok(self.step_with(&mut faults)?.loss))
+            .collect()
+    }
+
+    /// Restores the most recent in-memory checkpoint (records the load
+    /// latency). Errors if none was taken.
+    pub fn restore_last_checkpoint(&mut self) -> Result<()> {
+        let bytes = self.last_checkpoint.clone().ok_or_else(|| {
+            DappleError::InvalidConfig("no checkpoint taken by this supervisor".into())
+        })?;
+        let cfg = self.train.config().clone();
+        let t0 = Instant::now();
+        let restored = TrainLoop::resume_bytes(&bytes, cfg)?;
+        let ns = t0.elapsed().as_nanos() as u64;
+        let step = restored.step();
+        self.train = restored;
+        self.last_step_recovery.checkpoint_load_ns += ns;
+        self.events.push(RecoveryEvent {
+            step,
+            virtual_us: self.virtual_us,
+            kind: RecoveryEventKind::CheckpointLoaded { ns },
+        });
+        Ok(())
+    }
+
+    /// The most recent step's metrics with recovery costs folded in
+    /// (`None` unless [`EngineConfig::tracing`] is on).
+    pub fn last_step_metrics(&self) -> Option<StepMetrics> {
+        self.train.last_trace().map(|t| {
+            let mut m = t.metrics();
+            m.recovery = self.last_step_recovery;
+            m
+        })
+    }
+
+    /// Aggregates the event log.
+    pub fn metrics(&self) -> RecoveryMetrics {
+        let mut m = RecoveryMetrics::default();
+        for e in &self.events {
+            match &e.kind {
+                RecoveryEventKind::Rollback { .. } => m.rollbacks += 1,
+                RecoveryEventKind::Retry { backoff_us, .. } => {
+                    m.retries += 1;
+                    m.total_backoff_us += backoff_us;
+                }
+                RecoveryEventKind::Recovered { .. } => m.recoveries += 1,
+                RecoveryEventKind::ReplicaDropped { .. } => m.replica_drops += 1,
+                RecoveryEventKind::CheckpointSaved { ns, .. } => {
+                    m.checkpoint_saves += 1;
+                    m.checkpoint_save_ns += ns;
+                }
+                RecoveryEventKind::CheckpointLoaded { ns } => m.checkpoint_load_ns += ns,
+            }
+        }
+        if m.recoveries > 0 {
+            m.mttr_virtual_us = m.total_backoff_us as f64 / m.recoveries as f64;
+        }
+        m
+    }
+
+    /// Renders the event log as a JSON array (CI artifact / bench).
+    pub fn events_json(&self) -> String {
+        let mut s = String::from("[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            s.push_str("  {");
+            s.push_str(&format!(
+                "\"step\": {}, \"virtual_us\": {}, ",
+                e.step, e.virtual_us
+            ));
+            match &e.kind {
+                RecoveryEventKind::Rollback { ns } => {
+                    s.push_str(&format!("\"kind\": \"rollback\", \"ns\": {ns}"));
+                }
+                RecoveryEventKind::Retry {
+                    attempt,
+                    error,
+                    backoff_us,
+                } => {
+                    s.push_str(&format!(
+                        "\"kind\": \"retry\", \"attempt\": {attempt}, \
+                         \"backoff_us\": {backoff_us}, \"error\": \"{}\"",
+                        json_escape(&error.to_string())
+                    ));
+                }
+                RecoveryEventKind::Recovered { attempts } => {
+                    s.push_str(&format!(
+                        "\"kind\": \"recovered\", \"attempts\": {attempts}"
+                    ));
+                }
+                RecoveryEventKind::ReplicaDropped {
+                    stage,
+                    replica,
+                    survivors,
+                } => {
+                    s.push_str(&format!(
+                        "\"kind\": \"replica_dropped\", \"stage\": {stage}, \
+                         \"replica\": {replica}, \"survivors\": {survivors}"
+                    ));
+                }
+                RecoveryEventKind::CheckpointSaved { bytes, ns } => {
+                    s.push_str(&format!(
+                        "\"kind\": \"checkpoint_saved\", \"bytes\": {bytes}, \"ns\": {ns}"
+                    ));
+                }
+                RecoveryEventKind::CheckpointLoaded { ns } => {
+                    s.push_str(&format!("\"kind\": \"checkpoint_loaded\", \"ns\": {ns}"));
+                }
+            }
+            s.push_str(if i + 1 < self.events.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        s.push_str("]\n");
+        s
+    }
+
+    /// Serializes a checkpoint if one is due at the current step.
+    fn maybe_checkpoint(&mut self) {
+        let Some(every) = self.checkpoint_every else {
+            return;
+        };
+        if !self.train.step().is_multiple_of(every) {
+            return;
+        }
+        let t0 = Instant::now();
+        let bytes = self.train.save_bytes();
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.last_step_recovery.checkpoint_save_ns += ns;
+        self.events.push(RecoveryEvent {
+            step: self.train.step(),
+            virtual_us: self.virtual_us,
+            kind: RecoveryEventKind::CheckpointSaved {
+                bytes: bytes.len(),
+                ns,
+            },
+        });
+        self.last_checkpoint = Some(bytes);
+    }
+
+    /// Degrades `stage` by dropping one replica: the surviving count is
+    /// the largest replica count below the current one that still splits
+    /// the micro-batch rows evenly (1 always qualifies). Returns `false`
+    /// when the stage is already down to a single replica.
+    fn drop_replica(&mut self, step: u64, stage: usize, replica: usize) -> Result<bool> {
+        let cfg = self.train.config();
+        let Some(&r) = cfg.replication.get(stage) else {
+            return Ok(false);
+        };
+        if r <= 1 {
+            return Ok(false);
+        }
+        let mb = self.train.data().samples() / cfg.micro_batches;
+        let survivors = (1..r).rev().find(|d| mb.is_multiple_of(*d)).unwrap_or(1);
+        let mut cfg = cfg.clone();
+        cfg.replication[stage] = survivors;
+        self.train.reconfigure(cfg)?;
+        self.degraded = true;
+        self.events.push(RecoveryEvent {
+            step,
+            virtual_us: self.virtual_us,
+            kind: RecoveryEventKind::ReplicaDropped {
+                stage,
+                replica,
+                survivors,
+            },
+        });
+        Ok(true)
+    }
+
+    /// Drops injection points that no longer validate against the
+    /// degraded configuration. Only active once a replica has actually
+    /// been dropped — before that, an invalid plan is a caller bug and
+    /// must surface as [`DappleError::InvalidConfig`], not be silently
+    /// swallowed.
+    fn prune_invalid(&self, plan: FaultPlan) -> FaultPlan {
+        if !self.degraded || plan.is_empty() || plan.validate(self.train.config()).is_ok() {
+            return plan;
+        }
+        let mut pruned = FaultPlan::new();
+        for (&(stage, replica, step), &kind) in plan.iter() {
+            let candidate = pruned.clone().with_fault(stage, replica, step, kind);
+            if candidate.validate(self.train.config()).is_ok() {
+                pruned = candidate;
+            }
+        }
+        pruned
+    }
+}
+
+/// The (stage, replica) a runtime error is attributed to.
+fn error_coords(e: &DappleError) -> Option<(usize, usize)> {
+    match e {
+        DappleError::Stalled { stage, replica, .. }
+        | DappleError::WorkerPanicked { stage, replica, .. }
+        | DappleError::NonFinite { stage, replica, .. }
+        | DappleError::ChannelProtocol { stage, replica, .. }
+        | DappleError::ChannelClosed { stage, replica, .. } => Some((*stage, *replica)),
+        _ => None,
+    }
+}
+
+/// Minimal JSON string escaping for error messages.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+
+    const DIMS: [usize; 7] = [5, 12, 10, 8, 8, 4, 3];
+
+    fn mk_loop(opt: fn(&MlpModel) -> Optimizer) -> TrainLoop {
+        let model = MlpModel::new(&DIMS, 77);
+        let optimizer = opt(&model);
+        let mut cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+        cfg.recv_timeout = std::time::Duration::from_millis(200);
+        let stream = DataStream::new(9, 24, 5, 3);
+        TrainLoop::new(model, cfg, optimizer, stream).unwrap()
+    }
+
+    #[test]
+    fn data_stream_is_deterministic_and_cursor_addressable() {
+        let mut a = DataStream::new(7, 8, 3, 2);
+        let mut b = DataStream::new(7, 8, 3, 2);
+        let (xa, ta) = a.next_batch();
+        let (xb, tb) = b.next_batch();
+        assert_eq!(xa, xb);
+        assert_eq!(ta, tb);
+        let (xa2, _) = a.next_batch();
+        assert_ne!(xa, xa2, "successive batches must differ");
+        // Jumping the cursor reproduces the same batch sequence.
+        let mut c = DataStream::new(7, 8, 3, 2);
+        c.cursor = 1;
+        let (xc, _) = c.next_batch();
+        assert_eq!(xa2, xc);
+        assert_eq!(c.cursor(), 2);
+    }
+
+    #[test]
+    fn failed_step_rolls_back_bit_exactly() {
+        let mut lp = mk_loop(|m| Optimizer::adam(0.01, m));
+        lp.run(2).unwrap();
+        let model_before = lp.model().clone();
+        let opt_before = lp.optimizer().clone();
+        let (step_before, cursor_before) = (lp.step(), lp.data().cursor());
+        let plan = FaultPlan::new().with_fault(1, 0, 3, FaultKind::Panic);
+        let err = lp.try_step(&plan).unwrap_err();
+        assert!(matches!(err, DappleError::WorkerPanicked { .. }));
+        assert_eq!(lp.model(), &model_before, "weights must roll back");
+        assert_eq!(lp.optimizer(), &opt_before, "optimizer must roll back");
+        assert_eq!(lp.step(), step_before);
+        assert_eq!(lp.data().cursor(), cursor_before, "batch must be replayed");
+        // The next clean step lands exactly where a never-faulted loop
+        // would.
+        let mut clean = mk_loop(|m| Optimizer::adam(0.01, m));
+        clean.run(3).unwrap();
+        lp.try_step(&FaultPlan::new()).unwrap();
+        assert_eq!(lp.model(), clean.model());
+        assert_eq!(lp.optimizer(), clean.optimizer());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff_us: 100,
+            allow_degraded: true,
+        };
+        assert_eq!(p.backoff_us(1), 100);
+        assert_eq!(p.backoff_us(2), 200);
+        assert_eq!(p.backoff_us(3), 400);
+        // Saturates instead of overflowing.
+        let big = RetryPolicy {
+            max_attempts: 5,
+            base_backoff_us: u64::MAX / 2,
+            allow_degraded: true,
+        };
+        assert_eq!(big.backoff_us(50), u64::MAX);
+    }
+
+    #[test]
+    fn classification_splits_transient_from_structural() {
+        let retryable = [
+            DappleError::Stalled {
+                stage: 0,
+                replica: 0,
+                step: 0,
+            },
+            DappleError::WorkerPanicked {
+                stage: 0,
+                replica: 0,
+                message: "x".into(),
+            },
+            DappleError::NonFinite {
+                stage: 0,
+                replica: 0,
+                micro: 0,
+            },
+            DappleError::ChannelProtocol {
+                stage: 0,
+                replica: 0,
+                detail: "x".into(),
+            },
+            DappleError::ChannelClosed {
+                stage: 0,
+                replica: 0,
+                step: 0,
+            },
+        ];
+        for e in retryable {
+            assert_eq!(RetryPolicy::classify(&e), FaultClass::Retryable, "{e}");
+        }
+        assert_eq!(
+            RetryPolicy::classify(&DappleError::InvalidConfig("x".into())),
+            FaultClass::Fatal
+        );
+        assert_eq!(
+            RetryPolicy::classify(&DappleError::ShapeMismatch("x".into())),
+            FaultClass::Fatal
+        );
+    }
+
+    #[test]
+    fn supervisor_survives_transient_fault_and_records_it() {
+        let mut sup = Supervisor::new(mk_loop(|_| Optimizer::sgd(0.1)), RetryPolicy::default());
+        // Fault fires on the first attempt of step 1 only.
+        let mut faults = |step: u64, attempt: usize| {
+            if step == 1 && attempt == 0 {
+                FaultPlan::new().with_fault(0, 0, 0, FaultKind::Panic)
+            } else {
+                FaultPlan::new()
+            }
+        };
+        let losses = sup.run(3, &mut faults).unwrap();
+        assert_eq!(losses.len(), 3);
+        let m = sup.metrics();
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.rollbacks, 1);
+        assert_eq!(m.recoveries, 1);
+        assert!(m.mttr_virtual_us > 0.0);
+        assert_eq!(sup.virtual_now_us(), sup.metrics().total_backoff_us);
+        // Transparent: identical to a never-faulted run.
+        let mut clean = Supervisor::new(mk_loop(|_| Optimizer::sgd(0.1)), RetryPolicy::default());
+        let clean_losses = clean.run(3, &mut |_, _| FaultPlan::new()).unwrap();
+        for (a, b) in losses.iter().zip(&clean_losses) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(sup.train().model(), clean.train().model());
+    }
+
+    #[test]
+    fn supervisor_fails_fatal_errors_without_retry() {
+        let mut sup = Supervisor::new(mk_loop(|_| Optimizer::sgd(0.1)), RetryPolicy::default());
+        // An out-of-bounds plan is rejected as InvalidConfig -> fatal.
+        let mut faults = |_: u64, _: usize| FaultPlan::new().with_fault(9, 0, 0, FaultKind::Panic);
+        match sup.step_with(&mut faults) {
+            Err(DappleError::FatalFault { step, source }) => {
+                assert_eq!(step, 0);
+                assert!(matches!(*source, DappleError::InvalidConfig(_)));
+            }
+            other => panic!("expected FatalFault, got {other:?}"),
+        }
+        assert_eq!(sup.metrics().retries, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_on_straight_pipeline_carry_coordinates() {
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff_us: 10,
+            allow_degraded: true,
+        };
+        let mut sup = Supervisor::new(mk_loop(|_| Optimizer::sgd(0.1)), policy);
+        let mut faults = |_: u64, _: usize| FaultPlan::new().with_fault(1, 0, 2, FaultKind::Panic);
+        match sup.step_with(&mut faults) {
+            Err(DappleError::RetriesExhausted {
+                stage,
+                replica,
+                step,
+                attempts,
+                last,
+            }) => {
+                assert_eq!((stage, replica, step), (1, 0, 0));
+                assert_eq!(attempts, 2);
+                assert!(matches!(*last, DappleError::WorkerPanicked { .. }));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_json_is_well_formed() {
+        let mut sup = Supervisor::new(mk_loop(|_| Optimizer::sgd(0.1)), RetryPolicy::default())
+            .with_checkpoint_every(1);
+        let mut faults = |step: u64, attempt: usize| {
+            if step == 0 && attempt == 0 {
+                FaultPlan::new().with_fault(2, 0, 1, FaultKind::NanGradient)
+            } else {
+                FaultPlan::new()
+            }
+        };
+        sup.run(2, &mut faults).unwrap();
+        sup.restore_last_checkpoint().unwrap();
+        let json = sup.events_json();
+        assert!(json.contains("\"kind\": \"retry\""));
+        assert!(json.contains("\"kind\": \"rollback\""));
+        assert!(json.contains("\"kind\": \"recovered\""));
+        assert!(json.contains("\"kind\": \"checkpoint_saved\""));
+        assert!(json.contains("\"kind\": \"checkpoint_loaded\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb"), "a\\nb");
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+    }
+}

@@ -383,6 +383,7 @@ impl StepTrace {
             bubble_ratio,
             phases: self.phase_split(),
             stages,
+            recovery: RecoveryStepMetrics::default(),
         }
     }
 }
@@ -419,6 +420,24 @@ pub struct StepMetrics {
     pub phases: PhaseSplit,
     /// Per-stage accounting.
     pub stages: Vec<StageMetrics>,
+    /// Recovery costs attributed to this step by the supervisor
+    /// (`engine::recovery`); all-zero when the step never faulted.
+    pub recovery: RecoveryStepMetrics,
+}
+
+/// Recovery costs the supervisor charged to one training step. Filled by
+/// [`crate::recovery::Supervisor::last_step_metrics`]; the trace itself
+/// only ever sees the final successful attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStepMetrics {
+    /// Failed attempts that were retried.
+    pub retries: usize,
+    /// Wall-clock time spent restoring pre-step snapshots, ns.
+    pub rollback_ns: u64,
+    /// Wall-clock time serializing checkpoints after this step, ns.
+    pub checkpoint_save_ns: u64,
+    /// Wall-clock time deserializing checkpoints into this loop, ns.
+    pub checkpoint_load_ns: u64,
 }
 
 #[cfg(test)]

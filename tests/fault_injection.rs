@@ -242,3 +242,98 @@ fn faults_target_individual_replicas() {
         Err(DappleError::InvalidConfig(_))
     ));
 }
+
+/// Seed matrix over the supervisor: for ≥32 sampled fault plans the
+/// supervised loop either recovers completely (transient fault: injected
+/// on the first attempt only) or fails with a structured error carrying
+/// (stage, replica, step) coordinates (persistent fault: injected on
+/// every attempt) — never a panic, never a hang past the stall bound.
+#[test]
+fn seed_matrix_supervisor_recovers_or_fails_structurally() {
+    use dapple::engine::{DataStream, Optimizer, RetryPolicy, Supervisor, TrainLoop};
+
+    let mk_cfg = || {
+        let mut c = cfg();
+        c.recv_timeout = Duration::from_millis(50);
+        c
+    };
+    // Sampled stalls last 4x recv_timeout; waiters time out at 1x, the
+    // stalled worker wakes at 4x, so one faulted attempt is bounded well
+    // under a second. 5s leaves a wide margin for loaded CI machines.
+    let per_seed_bound = Duration::from_secs(5);
+
+    for seed in 0..32u64 {
+        let config = mk_cfg();
+        let plan = FaultPlan::sample(seed, 1, &config);
+        assert!(plan.validate(&config).is_ok(), "seed {seed}: invalid plan");
+
+        // Transient: the plan fires on the first attempt of step 1 only.
+        // The supervisor must absorb it and finish the run.
+        let started = Instant::now();
+        let lp = TrainLoop::new(
+            model6(),
+            config.clone(),
+            Optimizer::sgd(0.1),
+            DataStream::new(seed, 24, 5, 3),
+        )
+        .unwrap();
+        let mut sup = Supervisor::new(lp, RetryPolicy::default());
+        let losses = sup
+            .run(3, |step, attempt| {
+                if step == 1 && attempt == 0 {
+                    plan.clone()
+                } else {
+                    FaultPlan::new()
+                }
+            })
+            .unwrap_or_else(|e| panic!("seed {seed}: transient fault not absorbed: {e}"));
+        assert!(losses.iter().all(|l| l.is_finite()), "seed {seed}");
+        let m = sup.metrics();
+        assert_eq!(m.recoveries, 1, "seed {seed}: recovery not recorded");
+        assert!(m.retries >= 1 && m.rollbacks >= 1, "seed {seed}");
+
+        // Persistent: the plan fires on every attempt. The straight
+        // pipeline has no replica to shed, so the supervisor must give up
+        // with full coordinates after exactly its retry budget.
+        let lp = TrainLoop::new(
+            model6(),
+            config,
+            Optimizer::sgd(0.1),
+            DataStream::new(seed, 24, 5, 3),
+        )
+        .unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff_us: 100,
+            allow_degraded: true,
+        };
+        let mut sup = Supervisor::new(lp, policy);
+        match sup.run(3, |_, _| plan.clone()) {
+            Err(DappleError::RetriesExhausted {
+                stage,
+                replica,
+                step,
+                attempts,
+                last,
+            }) => {
+                assert!(stage < STAGES, "seed {seed}: stage {stage}");
+                assert_eq!(replica, 0, "seed {seed}");
+                assert_eq!(
+                    step, 0,
+                    "seed {seed}: first step must be the one that fails"
+                );
+                assert_eq!(attempts, 2, "seed {seed}");
+                assert!(
+                    !matches!(*last, DappleError::InvalidConfig(_)),
+                    "seed {seed}: persistent fault must surface as a runtime error, got {last:?}"
+                );
+            }
+            other => panic!("seed {seed}: expected RetriesExhausted, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < 2 * per_seed_bound,
+            "seed {seed}: took {:?}",
+            started.elapsed()
+        );
+    }
+}

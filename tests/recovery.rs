@@ -1,0 +1,312 @@
+//! End-to-end recovery guarantees: kill-at-step-k resume is bit-exact,
+//! retryable faults are survived transparently, degraded mode keeps
+//! training when a replica dies, and corrupted checkpoints are always
+//! rejected.
+
+use dapple::engine::checkpoint;
+use dapple::engine::{
+    DataStream, EngineConfig, FaultKind, FaultPlan, MlpModel, Optimizer, RecoveryEventKind,
+    RetryPolicy, Supervisor, TrainLoop,
+};
+use dapple_core::DappleError;
+use proptest::prelude::*;
+use std::time::Duration;
+
+const DIMS: [usize; 7] = [5, 12, 10, 8, 8, 4, 3];
+const BATCH: usize = 24;
+const TOTAL_STEPS: u64 = 8;
+
+fn cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+    cfg.recv_timeout = Duration::from_millis(200);
+    cfg
+}
+
+fn mk_optimizer(idx: usize, model: &MlpModel) -> Optimizer {
+    match idx {
+        0 => Optimizer::sgd(0.1),
+        1 => Optimizer::momentum(0.1, 0.9, model),
+        _ => Optimizer::adam(0.01, model),
+    }
+}
+
+fn mk_loop(opt_idx: usize) -> TrainLoop {
+    let model = MlpModel::new(&DIMS, 77);
+    let optimizer = mk_optimizer(opt_idx, &model);
+    TrainLoop::new(model, cfg(), optimizer, DataStream::new(9, BATCH, 5, 3)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Kill at step k, resume from the v2 checkpoint: the remaining loss
+    /// trajectory and the final model + optimizer state are bit-identical
+    /// to an uninterrupted run — for every optimizer and for k in the
+    /// pipeline's warmup, steady and tail phases of the run.
+    #[test]
+    fn kill_at_step_k_resume_is_bit_identical(
+        opt_idx in 0usize..3,
+        k in 1u64..TOTAL_STEPS,
+    ) {
+        // Uninterrupted reference run.
+        let mut uninterrupted = mk_loop(opt_idx);
+        let ref_losses = uninterrupted.run(TOTAL_STEPS).unwrap();
+
+        // Run to k, "kill" (serialize + drop), resume, finish.
+        let mut first = mk_loop(opt_idx);
+        let mut losses = first.run(k).unwrap();
+        let bytes = first.save_bytes();
+        drop(first);
+        let mut resumed = TrainLoop::resume_bytes(&bytes, cfg()).unwrap();
+        prop_assert_eq!(resumed.step(), k);
+        losses.extend(resumed.run(TOTAL_STEPS - k).unwrap());
+
+        prop_assert_eq!(losses.len(), ref_losses.len());
+        for (i, (a, b)) in losses.iter().zip(&ref_losses).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "loss diverged at step {} (kill at {}): {} vs {}", i, k, a, b
+            );
+        }
+        prop_assert_eq!(resumed.model(), uninterrupted.model());
+        prop_assert_eq!(resumed.optimizer(), uninterrupted.optimizer());
+        prop_assert_eq!(resumed.data().cursor(), uninterrupted.data().cursor());
+    }
+
+    /// Any single-byte corruption of a valid v2 checkpoint — any offset,
+    /// any non-identity XOR mask — is rejected with `InvalidConfig`:
+    /// never a panic, never a silently-wrong model.
+    #[test]
+    fn corrupted_v2_checkpoint_is_always_rejected(
+        opt_idx in 0usize..3,
+        pos_seed in 0u64..1_000_000_007,
+        mask in 1u8..=255,
+    ) {
+        let mut lp = mk_loop(opt_idx);
+        lp.run(2).unwrap();
+        let mut bytes = lp.save_bytes();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= mask;
+        match checkpoint::state_from_bytes(&bytes) {
+            Err(DappleError::InvalidConfig(_)) => {}
+            Err(other) => prop_assert!(
+                false, "byte {} ^ {:#04x}: wrong error kind {:?}", pos, mask, other
+            ),
+            Ok(_) => prop_assert!(
+                false, "byte {} ^ {:#04x}: corruption accepted", pos, mask
+            ),
+        }
+        // And the model-only loader rejects it too.
+        prop_assert!(checkpoint::from_bytes(&bytes).is_err());
+    }
+}
+
+/// Kill-and-resume through actual files, exercising `save(path)` and
+/// `resume(path)` (the checkpoint surface CI smoke-tests).
+#[test]
+fn kill_and_resume_via_file_round_trip() {
+    let dir = std::env::temp_dir().join(format!("dapple-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for opt_idx in 0..3 {
+        let path = dir.join(format!("ckpt-{opt_idx}.dapl"));
+        let mut reference = mk_loop(opt_idx);
+        let ref_losses = reference.run(6).unwrap();
+
+        let mut first = mk_loop(opt_idx);
+        let mut losses = first.run(3).unwrap();
+        first.save(&path).unwrap();
+        drop(first);
+        let mut resumed = TrainLoop::resume(&path, cfg()).unwrap();
+        losses.extend(resumed.run(3).unwrap());
+
+        assert_eq!(losses.len(), ref_losses.len());
+        for (a, b) in losses.iter().zip(&ref_losses) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(resumed.model(), reference.model());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A retryable injected fault is survived transparently: the supervised
+/// run's losses and final weights are bit-equal to a fault-free run, and
+/// the step's `StepMetrics` record the retry and rollback cost.
+#[test]
+fn retryable_fault_is_survived_transparently() {
+    let mk_sup = || {
+        let model = MlpModel::new(&DIMS, 77);
+        let optimizer = Optimizer::adam(0.01, &model);
+        let mut config = cfg();
+        config.tracing = true;
+        let lp = TrainLoop::new(model, config, optimizer, DataStream::new(9, BATCH, 5, 3)).unwrap();
+        Supervisor::new(lp, RetryPolicy::default())
+    };
+
+    let mut clean = mk_sup();
+    let mut faulted = mk_sup();
+    let mut clean_losses = Vec::new();
+    let mut fault_losses = Vec::new();
+    for step in 0..5u64 {
+        clean_losses.push(clean.step_with(&mut |_, _| FaultPlan::new()).unwrap().loss);
+        let mut faults = |s: u64, attempt: usize| {
+            if s == 2 && attempt == 0 {
+                FaultPlan::new().with_fault(1, 0, 3, FaultKind::Panic)
+            } else {
+                FaultPlan::new()
+            }
+        };
+        fault_losses.push(faulted.step_with(&mut faults).unwrap().loss);
+        let metrics = faulted.last_step_metrics().expect("tracing is on");
+        if step == 2 {
+            assert_eq!(metrics.recovery.retries, 1, "retry must be recorded");
+            assert!(metrics.recovery.rollback_ns > 0, "rollback cost recorded");
+        } else {
+            assert_eq!(metrics.recovery.retries, 0);
+        }
+    }
+
+    for (a, b) in fault_losses.iter().zip(&clean_losses) {
+        assert_eq!(a.to_bits(), b.to_bits(), "trajectory must be unchanged");
+    }
+    assert_eq!(faulted.train().model(), clean.train().model());
+    assert_eq!(faulted.train().optimizer(), clean.train().optimizer());
+
+    let m = faulted.metrics();
+    assert_eq!(m.retries, 1);
+    assert_eq!(m.rollbacks, 1);
+    assert_eq!(m.recoveries, 1);
+    assert!(m.mttr_virtual_us > 0.0);
+    assert_eq!(clean.metrics().retries, 0);
+}
+
+/// A persistently-failing replica is dropped and training continues in
+/// degraded mode: the reconfiguration is recorded, the surviving replica
+/// re-shards the rows, and the loss trajectory matches an unreplicated
+/// run to within floating-point reassociation.
+#[test]
+fn degraded_mode_drops_replica_and_continues() {
+    let model = MlpModel::new(&DIMS, 77);
+    let mut config = cfg();
+    config.stage_bounds = vec![0..3, 3..6];
+    config.replication = vec![2, 1];
+    let lp = TrainLoop::new(
+        model.clone(),
+        config,
+        Optimizer::sgd(0.1),
+        DataStream::new(9, BATCH, 5, 3),
+    )
+    .unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_backoff_us: 100,
+        allow_degraded: true,
+    };
+    let mut sup = Supervisor::new(lp, policy);
+
+    // Replica 1 of stage 0 fails persistently (a machine died for good).
+    let mut faults = |_: u64, _: usize| FaultPlan::new().with_fault(0, 1, 0, FaultKind::Panic);
+    let losses = sup
+        .run(4, &mut faults)
+        .expect("degraded mode must carry on");
+    assert_eq!(losses.len(), 4);
+    assert!(losses.iter().all(|l| l.is_finite()));
+
+    // The reconfiguration happened and was recorded.
+    assert_eq!(sup.train().config().replication, vec![1, 1]);
+    let drop_events: Vec<_> = sup
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            RecoveryEventKind::ReplicaDropped {
+                stage,
+                replica,
+                survivors,
+            } => Some((e.step, stage, replica, survivors)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(drop_events, vec![(0, 0, 1, 1)]);
+    assert_eq!(sup.metrics().replica_drops, 1);
+
+    // Degraded training is still synchronous training: the trajectory
+    // matches an unreplicated pipeline up to gradient reassociation.
+    let mut unreplicated_cfg = cfg();
+    unreplicated_cfg.stage_bounds = vec![0..3, 3..6];
+    unreplicated_cfg.replication = vec![1, 1];
+    let mut reference = TrainLoop::new(
+        model,
+        unreplicated_cfg,
+        Optimizer::sgd(0.1),
+        DataStream::new(9, BATCH, 5, 3),
+    )
+    .unwrap();
+    let ref_losses = reference.run(4).unwrap();
+    for (a, b) in losses.iter().zip(&ref_losses) {
+        assert!(
+            (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+            "degraded trajectory diverged: {a} vs {b}"
+        );
+    }
+}
+
+/// With degraded mode disabled the same persistent replica failure is a
+/// structured `RetriesExhausted` carrying the sick worker's coordinates.
+#[test]
+fn degraded_mode_can_be_disabled() {
+    let model = MlpModel::new(&DIMS, 77);
+    let mut config = cfg();
+    config.stage_bounds = vec![0..3, 3..6];
+    config.replication = vec![2, 1];
+    let lp = TrainLoop::new(
+        model,
+        config,
+        Optimizer::sgd(0.1),
+        DataStream::new(9, BATCH, 5, 3),
+    )
+    .unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_backoff_us: 100,
+        allow_degraded: false,
+    };
+    let mut sup = Supervisor::new(lp, policy);
+    let mut faults = |_: u64, _: usize| FaultPlan::new().with_fault(0, 1, 0, FaultKind::Panic);
+    match sup.run(4, &mut faults) {
+        Err(DappleError::RetriesExhausted {
+            stage,
+            replica,
+            step,
+            attempts,
+            ..
+        }) => {
+            assert_eq!((stage, replica, step), (0, 1, 0));
+            assert_eq!(attempts, 2);
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    assert_eq!(sup.metrics().replica_drops, 0);
+}
+
+/// Checkpoint-every + restore round-trips through the supervisor: after
+/// restoring, replaying the same steps reproduces the same losses.
+#[test]
+fn supervisor_checkpoint_restore_replays_identically() {
+    let lp = mk_loop(2);
+    let mut sup = Supervisor::new(lp, RetryPolicy::default()).with_checkpoint_every(2);
+    let losses = sup.run(4, |_, _| FaultPlan::new()).unwrap();
+    assert_eq!(sup.train().step(), 4);
+    // Last checkpoint was taken at step 4.
+    sup.restore_last_checkpoint().unwrap();
+    assert_eq!(sup.train().step(), 4);
+    // Roll further: restore an older position by replaying from bytes.
+    let bytes = sup.last_checkpoint().unwrap().to_vec();
+    let mut replay = TrainLoop::resume_bytes(&bytes, cfg()).unwrap();
+    let more = replay.run(2).unwrap();
+    let mut continued = sup.into_train();
+    let direct = continued.run(2).unwrap();
+    assert_eq!(more.len(), direct.len());
+    for (a, b) in more.iter().zip(&direct) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert!(losses.iter().all(|l| l.is_finite()));
+}

@@ -396,6 +396,16 @@ macro_rules! prop_assert_eq {
             right
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
 }
 
 /// Uniform choice among strategies with a common value type.
