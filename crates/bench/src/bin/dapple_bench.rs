@@ -5,26 +5,34 @@
 //!
 //! ```text
 //! cargo run --release -p dapple-bench --bin dapple-bench -- \
-//!     [--smoke] [--out PATH] [--trace PATH] [--recovery-log PATH]
+//!     [--smoke] [--out PATH] [--trace PATH] [--recovery-log PATH] \
+//!     [--gate-err-steady THRESHOLD]
 //! ```
 //!
-//! Writes a hand-rolled JSON report (default `BENCH_4.json`): one record
+//! Writes a hand-rolled JSON report (default `BENCH_5.json`): one record
 //! per measurement with iteration count, wall time and, where it makes
 //! sense, derived throughput — plus the observability records from this
 //! repo's tracing subsystem: step-tracing overhead (on vs. off), measured
-//! bubble ratio and per-stage busy fractions from a traced 1F1B step, and
-//! the predicted-vs-actual phase errors from
-//! [`dapple_bench::validate`]. The recovery group measures checkpoint
-//! save/load latency, the transactional supervisor's clean-step cost,
-//! the wall-clock overhead of a step that faults once and is retried,
-//! and the supervisor's virtual-time MTTR. `--trace PATH` additionally
-//! exports the measured step as a Perfetto-loadable Chrome Trace Event
-//! file; `--recovery-log PATH` dumps the supervisor's recovery-event log
-//! as JSON. `--smoke` shrinks every shape so the whole run finishes in a
+//! bubble ratio and per-stage busy fractions from a traced 1F1B step, the
+//! round-by-round trace-calibration loop from [`dapple_bench::validate`]
+//! (per-phase prediction errors before and after calibration, measured
+//! over repeated steps with the spread recorded), and the replan
+//! demonstration (the planner re-planning from a measured profile vs. the
+//! analytic one, both plans timed on the engine). The recovery group
+//! measures checkpoint save/load latency, the transactional supervisor's
+//! clean-step cost, the wall-clock overhead of a step that faults once
+//! and is retried, and the supervisor's virtual-time MTTR. `--trace PATH`
+//! additionally exports the measured step as a Perfetto-loadable Chrome
+//! Trace Event file; `--recovery-log PATH` dumps the supervisor's
+//! recovery-event log as JSON. `--gate-err-steady T` exits non-zero when
+//! the calibrated steady-phase error exceeds `T` (the CI regression
+//! gate). `--smoke` shrinks every shape so the whole run finishes in a
 //! couple of seconds — that mode exists for CI, not for comparing
 //! numbers.
 
-use dapple_bench::validate::{run_validation, Scenario};
+use dapple_bench::validate::{
+    calibrate_validation, replan_from_measured, Scenario, MAX_CALIBRATION_ROUNDS, MEASURE_ITERS,
+};
 use dapple_engine::{
     data, DataStream, EngineConfig, FaultKind, FaultPlan, MlpModel, Optimizer, PipelineTrainer,
     RetryPolicy, Supervisor, Tensor, TrainLoop,
@@ -147,31 +155,67 @@ fn matmul_benches(smoke: bool, out: &mut Vec<Record>) {
     }
 }
 
+/// The reuse-on/reuse-off comparison is *interleaved*: both trainers are
+/// built up front, then each round times one best-of-3 step per config in
+/// alternation and the per-config medians are reported. Back-to-back
+/// blocks (all reuse_on iterations, then all reuse_off) let slow drift in
+/// machine load masquerade as a config difference — which is exactly how
+/// BENCH_4 recorded the pooled path as a regression.
 fn engine_benches(smoke: bool, out: &mut Vec<Record>) {
-    let (dims, batch, iters): (Vec<usize>, usize, u32) = if smoke {
+    // Full mode uses narrow layers with a large batch: per-step compute
+    // scales with width² but buffer traffic only with width, so narrow
+    // shapes are where buffer reuse is a measurable share of the step
+    // (wide shapes bury the allocator under matmul time).
+    let (dims, batch, rounds): (Vec<usize>, usize, u32) = if smoke {
         (vec![5, 12, 10, 8, 8, 4, 3], 24, 3)
     } else {
-        (vec![64, 256, 256, 256, 256, 128, 32], 128, 10)
+        (vec![32, 64, 64, 64, 64, 64, 32], 4096, 14)
     };
     let (x, t) = data::regression_batch(batch, dims[0], *dims.last().unwrap(), 11);
-    for (label, reuse) in [("reuse_on", true), ("reuse_off", false)] {
+    let plan = FaultPlan::new();
+    let configs = [("reuse_on", true), ("reuse_off", false)];
+    let mut trainers = Vec::new();
+    let mut pool_counters = Vec::new();
+    for &(_, reuse) in &configs {
         let mut cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
         cfg.buffer_reuse = reuse;
         let trainer = PipelineTrainer::new(MlpModel::new(&dims, 3), cfg).unwrap();
-        let plan = FaultPlan::new();
-        let outcome = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
-        let ns = time_ns(iters, || {
-            let out = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
-            black_box(out.loss);
-        });
+        // Two warmup steps: the first fills the persistent per-worker
+        // pools, the second reports steady-state hit/miss counters.
+        trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+        let warm = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+        pool_counters.push((warm.pool_hits, warm.pool_misses));
+        trainers.push(trainer);
+    }
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for _ in 0..rounds {
+        for (i, trainer) in trainers.iter().enumerate() {
+            let best = (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let out = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+                    black_box(out.loss);
+                    t0.elapsed().as_nanos() as f64
+                })
+                .fold(f64::INFINITY, f64::min);
+            samples[i].push(best);
+        }
+    }
+    for (i, &(label, _)) in configs.iter().enumerate() {
+        // Minimum across rounds: timing noise on a shared host is strictly
+        // additive (scheduler preemption, cache pollution from neighbours),
+        // so the fastest observed step is the best estimate of the
+        // configuration's intrinsic cost.
+        let best = samples[i].iter().copied().fold(f64::INFINITY, f64::min);
         out.push(Record {
             group: "pipeline_step",
             name: format!("straight3_m4_{label}"),
-            iters,
-            ns_per_iter: ns,
+            iters: rounds * 3,
+            ns_per_iter: best,
             extra: vec![
-                ("pool_hits", outcome.pool_hits.to_string()),
-                ("pool_misses", outcome.pool_misses.to_string()),
+                ("pool_hits", pool_counters[i].0.to_string()),
+                ("pool_misses", pool_counters[i].1.to_string()),
+                ("method", "\"interleaved_min_best_of_3\"".to_string()),
             ],
         });
     }
@@ -357,43 +401,94 @@ fn recovery_benches(smoke: bool, out: &mut Vec<Record>, recovery_log: Option<&st
     }
 }
 
-/// Predicted-vs-actual: simulator timeline vs. the traced engine step.
-fn validation_benches(smoke: bool, out: &mut Vec<Record>) {
+/// Predicted-vs-actual: the full calibration loop, one record per round.
+/// Round 0 is the uncalibrated analytic prediction; each later round
+/// predicts from the previous round's trace-calibrated profile. Returns
+/// the final (calibrated) steady-phase error for the `--gate-err-steady`
+/// regression gate.
+fn validation_benches(smoke: bool, out: &mut Vec<Record>) -> f64 {
     let scenario = if smoke {
         Scenario::smoke()
     } else {
         Scenario::default_2stage()
     };
-    let v = run_validation(&scenario);
-    out.push(Record {
-        group: "validation",
-        name: format!(
-            "predicted_vs_actual_s{}_m{}",
-            scenario.stage_bounds.len(),
-            scenario.micro_batches
-        ),
-        iters: 1,
-        ns_per_iter: v.measured_makespan_us * 1e3,
-        extra: vec![
-            ("predicted_makespan_us", json_f64(v.predicted_makespan_us)),
-            ("measured_makespan_us", json_f64(v.measured_makespan_us)),
-            ("predicted_bubble_ratio", json_f64(v.predicted_bubble)),
-            ("measured_bubble_ratio", json_f64(v.measured_bubble)),
-            (
-                "stage_busy_fraction",
-                format!(
-                    "[{}]",
-                    v.stage_busy_fraction
-                        .iter()
-                        .map(|&f| json_f64(f))
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ),
+    let outcome = calibrate_validation(&scenario, MAX_CALIBRATION_ROUNDS, MEASURE_ITERS);
+    let rounds = outcome.rounds.len();
+    for (round, v) in outcome.rounds.iter().enumerate() {
+        let calibrated = round > 0;
+        out.push(Record {
+            group: "validation",
+            name: format!(
+                "predicted_vs_actual_s{}_m{}_round{round}",
+                scenario.stage_bounds.len(),
+                scenario.micro_batches
             ),
-            ("err_makespan", json_f64(v.makespan_error)),
-            ("err_warmup", json_f64(v.phase_errors[0])),
-            ("err_steady", json_f64(v.phase_errors[1])),
-            ("err_tail", json_f64(v.phase_errors[2])),
+            iters: v.measured_iters as u32,
+            ns_per_iter: v.measured_makespan_us * 1e3,
+            extra: vec![
+                ("round", round.to_string()),
+                ("calibrated", calibrated.to_string()),
+                (
+                    "converged",
+                    (outcome.converged && round + 1 == rounds).to_string(),
+                ),
+                ("predicted_makespan_us", json_f64(v.predicted_makespan_us)),
+                ("measured_makespan_us", json_f64(v.measured_makespan_us)),
+                ("measured_min_us", json_f64(v.measured_spread_us.0)),
+                ("measured_max_us", json_f64(v.measured_spread_us.1)),
+                ("predicted_bubble_ratio", json_f64(v.predicted_bubble)),
+                ("measured_bubble_ratio", json_f64(v.measured_bubble)),
+                (
+                    "stage_busy_fraction",
+                    format!(
+                        "[{}]",
+                        v.stage_busy_fraction
+                            .iter()
+                            .map(|&f| json_f64(f))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                ),
+                ("err_makespan", json_f64(v.makespan_error)),
+                ("err_warmup", json_f64(v.phase_errors[0])),
+                ("err_steady", json_f64(v.phase_errors[1])),
+                ("err_tail", json_f64(v.phase_errors[2])),
+            ],
+        });
+    }
+    outcome.final_round().phase_errors[1]
+}
+
+/// Replanning from a measured profile: the planner's choice under the
+/// analytic cost model vs. under the trace-calibrated one, both plans
+/// executed on the engine.
+fn replan_benches(smoke: bool, out: &mut Vec<Record>) {
+    let iters = if smoke { 3 } else { MEASURE_ITERS };
+    let r = replan_from_measured(smoke, iters);
+    let fmt_bounds = |bounds: &[std::ops::Range<usize>]| {
+        format!(
+            "\"{}\"",
+            bounds
+                .iter()
+                .map(|b| format!("{}..{}", b.start, b.end))
+                .collect::<Vec<_>>()
+                .join(" ")
+        )
+    };
+    out.push(Record {
+        group: "replan",
+        name: format!("analytic_vs_measured_profile_l{}", r.dims.len() - 1),
+        iters: iters as u32,
+        ns_per_iter: r.calibrated_us * 1e3,
+        extra: vec![
+            ("analytic_bounds", fmt_bounds(&r.analytic_bounds)),
+            ("analytic_micro_batches", r.analytic_micro.to_string()),
+            ("analytic_measured_us", json_f64(r.analytic_us)),
+            ("calibrated_bounds", fmt_bounds(&r.calibrated_bounds)),
+            ("calibrated_micro_batches", r.calibrated_micro.to_string()),
+            ("calibrated_measured_us", json_f64(r.calibrated_us)),
+            ("plans_differ", r.plans_differ.to_string()),
+            ("speedup", json_f64(r.speedup)),
         ],
     });
 }
@@ -422,9 +517,10 @@ fn render_json(mode: &str, records: &[Record]) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_4.json".to_string();
+    let mut out_path = "BENCH_5.json".to_string();
     let mut trace_path: Option<String> = None;
     let mut recovery_log: Option<String> = None;
+    let mut gate_err_steady: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -458,10 +554,20 @@ fn main() {
                         .clone(),
                 );
             }
+            "--gate-err-steady" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("--gate-err-steady needs a threshold");
+                    std::process::exit(2);
+                });
+                gate_err_steady = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--gate-err-steady: not a number: {raw}");
+                    std::process::exit(2);
+                }));
+            }
             _ => {
                 eprintln!(
                     "usage: dapple-bench [--smoke] [--out PATH] [--trace PATH] \
-                     [--recovery-log PATH]"
+                     [--recovery-log PATH] [--gate-err-steady THRESHOLD]"
                 );
                 std::process::exit(2);
             }
@@ -480,8 +586,10 @@ fn main() {
     tracing_overhead_benches(smoke, &mut records, trace_path.as_deref());
     eprintln!("[dapple-bench] fault recovery ({mode})...");
     recovery_benches(smoke, &mut records, recovery_log.as_deref());
-    eprintln!("[dapple-bench] predicted vs actual ({mode})...");
-    validation_benches(smoke, &mut records);
+    eprintln!("[dapple-bench] calibration loop ({mode})...");
+    let err_steady = validation_benches(smoke, &mut records);
+    eprintln!("[dapple-bench] replan from measured profile ({mode})...");
+    replan_benches(smoke, &mut records);
 
     let json = render_json(mode, &records);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
@@ -495,4 +603,17 @@ fn main() {
         );
     }
     println!("{out_path}");
+    if let Some(threshold) = gate_err_steady {
+        // NaN (no validation record produced) must fail the gate too.
+        if err_steady.is_nan() || err_steady > threshold {
+            eprintln!(
+                "[dapple-bench] GATE FAILED: calibrated err_steady {err_steady:.4} \
+                 exceeds threshold {threshold:.4}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[dapple-bench] gate OK: calibrated err_steady {err_steady:.4} <= {threshold:.4}"
+        );
+    }
 }

@@ -1,42 +1,74 @@
-//! Predicted-vs-actual schedule validation.
+//! Predicted-vs-actual schedule validation and trace-driven calibration.
 //!
 //! The simulator predicts pipeline timelines from an analytic cost model;
 //! the engine measures them with runtime tracing. This module closes the
-//! loop: it calibrates a [`ModelGraph`] from per-layer timings measured on
-//! the *engine's* own layers, runs the same plan through [`PipelineSim`]
-//! and through a traced [`PipelineTrainer`] step, aligns the two timelines
-//! on the warmup/steady/tail decomposition ([`dapple_core::PhaseSplit`]),
-//! and reports per-phase relative errors.
+//! loop twice:
 //!
-//! Calibration keeps the comparison honest: the simulated device is given
-//! the reference FLOPs rate (so profiled times equal the measured per-layer
-//! times by construction), zero launch overhead, and a near-infinite
-//! zero-latency interconnect (the engine's channels move pointers within
-//! one process). What remains — scheduling slack, thread wakeup, channel
-//! backpressure — is exactly the modeling error the paper's §VI planner
-//! claims are exposed to.
+//! 1. **Validation** ([`run_validation`]): calibrate a [`ModelGraph`] from
+//!    isolated per-layer timings, run the same plan through [`PipelineSim`]
+//!    and through repeated traced [`PipelineTrainer`] steps, align the two
+//!    timelines on the warmup/steady/tail decomposition
+//!    ([`dapple_core::PhaseSplit`]) and report per-phase relative errors.
+//! 2. **Calibration** ([`calibrate_validation`]): iterate
+//!    profile → measure → calibrate → re-predict until every phase error
+//!    drops under [`CALIBRATION_TOLERANCE`]. The [`Calibrator`] consumes
+//!    the in-pipeline spans the engine traced — so the corrected profile
+//!    absorbs exactly the effects the isolated measurement misses: memory
+//!    bandwidth contention between concurrently running stage threads and
+//!    the per-micro-batch channel handoff cost.
+//!
+//! That second loop is what fixes the systematic under-prediction the
+//! BENCH_3/BENCH_4 validation rows recorded (~43% makespan error, bubble
+//! 0.20 predicted vs 0.45 measured): the analytic model times layers on an
+//! idle core and prices the in-process channels at zero.
+//! [`replan_from_measured`] closes the planning loop too: on a
+//! memory-constrained cluster the planner re-plans from the measured
+//! profile and picks a different — measurably faster — plan than it does
+//! from the analytic one.
 
 use crate::common::Report;
 use dapple_cluster::{Cluster, DeviceSpec, Interconnect};
+use dapple_collectives::CommCalibration;
 use dapple_core::{relative_error, Bytes, DeviceId, PhaseSplit, Plan, StagePlan};
-use dapple_engine::{data, EngineConfig, FaultPlan, MlpModel, PipelineTrainer};
+use dapple_engine::{
+    data, EngineConfig, FaultPlan, MlpModel, PipelineTrainer, SpanKind, StepTrace,
+};
 use dapple_model::{synthetic, ModelGraph, OptimizerKind};
-use dapple_planner::CostModel;
-use dapple_profiler::{MemoryModel, ModelProfile};
+use dapple_planner::{CostModel, DapplePlanner, PlannerConfig};
+use dapple_profiler::{Calibrator, MemoryModel, ModelProfile, ObservedSpan};
 use dapple_sim::{KPolicy, PipelineSim, Schedule, SimConfig, SimResult};
+use std::collections::HashMap;
+use std::ops::Range;
 use std::time::Instant;
+
+/// Traced steps per measurement; the median step is compared and the
+/// spread recorded, so one scheduler hiccup cannot skew a validation row.
+pub const MEASURE_ITERS: usize = 5;
+
+/// Per-phase relative-error bar the calibration loop converges to.
+pub const CALIBRATION_TOLERANCE: f64 = 0.10;
+
+/// Upper bound on profile → calibrate → re-predict rounds. Spans
+/// accumulate across rounds, so later rounds see strictly more evidence;
+/// on a noisy host the estimate keeps tightening for several rounds
+/// before the phase errors settle under tolerance.
+pub const MAX_CALIBRATION_ROUNDS: usize = 6;
 
 /// Everything the comparison produced, for reports and BENCH records.
 #[derive(Debug, Clone)]
 pub struct Validation {
     /// Simulated phase decomposition, µs.
     pub predicted: PhaseSplit,
-    /// Measured phase decomposition, µs.
+    /// Measured phase decomposition (median step), µs.
     pub measured: PhaseSplit,
     /// Simulated end-to-end step makespan, µs.
     pub predicted_makespan_us: f64,
-    /// Measured end-to-end step makespan, µs.
+    /// Measured end-to-end step makespan (median step), µs.
     pub measured_makespan_us: f64,
+    /// (min, max) measured step makespan over the repeated steps, µs.
+    pub measured_spread_us: (f64, f64),
+    /// Number of traced steps the measurement aggregates.
+    pub measured_iters: usize,
     /// Simulated mean bubble ratio.
     pub predicted_bubble: f64,
     /// Measured mean bubble ratio.
@@ -49,14 +81,14 @@ pub struct Validation {
     pub phase_errors: [f64; 3],
 }
 
-/// The benchmark scenario: a 6-layer MLP split over `stages` pipeline
+/// The benchmark scenario: an MLP split over `stage_bounds` pipeline
 /// stages, one replica each, no recompute, DAPPLE PA schedule.
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Layer widths (`dims.len() - 1` dense layers).
     pub dims: Vec<usize>,
     /// Per-stage layer ranges.
-    pub stage_bounds: Vec<std::ops::Range<usize>>,
+    pub stage_bounds: Vec<Range<usize>>,
     /// Global batch rows.
     pub batch: usize,
     /// Micro-batches per step.
@@ -85,6 +117,12 @@ impl Scenario {
             micro_batches: 4,
         }
     }
+
+    /// Samples each stage processes per micro-batch (one replica each).
+    fn stage_samples(&self) -> Vec<f64> {
+        let slice = self.batch as f64 / self.micro_batches.max(1) as f64;
+        vec![slice; self.stage_bounds.len()]
+    }
 }
 
 /// Median of `reps` timings of `f`, in µs.
@@ -103,6 +141,11 @@ fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
 /// Measures per-layer forward/backward wall time of `model` at micro-batch
 /// size `rows` and returns a [`ModelGraph`] calibrated so the simulator's
 /// profiled times reproduce them exactly on the reference device.
+///
+/// The measurement is *isolated*: one layer at a time on an otherwise idle
+/// process. A pipelined step runs all stage threads concurrently, so these
+/// numbers systematically under-predict in-pipeline behaviour — that gap
+/// is what [`calibrate_validation`] corrects from real traces.
 pub fn calibrate_graph(model: &MlpModel, rows: usize, reps: usize) -> ModelGraph {
     let (x, _) = data::regression_batch(rows, model.layers[0].w.rows, 1, 5);
     let ys = model.forward(&x);
@@ -154,17 +197,32 @@ fn loopback_cluster(stages: usize) -> Cluster {
     Cluster::new("loopback", vec![1; stages], device, link, link)
 }
 
-/// Runs the scenario's plan through the simulator.
+/// Runs the scenario's plan through the simulator from a calibrated graph.
 pub fn predict(scenario: &Scenario, graph: &ModelGraph) -> SimResult {
+    let cluster = loopback_cluster(scenario.stage_bounds.len());
+    let profile = ModelProfile::profile(graph, &cluster.device);
+    predict_profile(scenario, &profile, None)
+}
+
+/// Runs the scenario's plan through the simulator from a profile, with
+/// optional measured communication corrections. This is the prediction
+/// path the calibration loop re-enters each round.
+pub fn predict_profile(
+    scenario: &Scenario,
+    profile: &ModelProfile,
+    comm: Option<&CommCalibration>,
+) -> SimResult {
     let stages = scenario.stage_bounds.len();
     let cluster = loopback_cluster(stages);
-    let profile = ModelProfile::profile(graph, &cluster.device);
-    let cost = CostModel::new(
-        &profile,
+    let mut cost = CostModel::new(
+        profile,
         &cluster,
         MemoryModel::new(OptimizerKind::Sgd),
         scenario.batch,
     );
+    if let Some(c) = comm {
+        cost = cost.with_calibration(c.clone());
+    }
     let plan = Plan::new(
         scenario
             .stage_bounds
@@ -180,96 +238,565 @@ pub fn predict(scenario: &Scenario, graph: &ModelGraph) -> SimResult {
     })
 }
 
-/// Runs the scenario end to end: calibrate, simulate, execute with
-/// tracing, and compare the timelines.
-pub fn run_validation(scenario: &Scenario) -> Validation {
+/// Converts a traced engine step into the profiler's observation format.
+///
+/// Compute spans map directly. Channel transfers are reconstructed by
+/// pairing each `CommSend` with the matching `CommRecvWait` on the other
+/// side of the boundary (same micro-batch): the delivery time the
+/// simulator models is `recv.end − send.start`, and only pairs where the
+/// receiver was already blocked when the send began expose it — otherwise
+/// the receive wait measures scheduling slack, not transfer cost. The
+/// direction of a comm span is inferred from program order: a send issued
+/// after forward compute carries activations downstream, one issued after
+/// backward compute carries gradients upstream (and symmetrically, a
+/// receive is classified by the compute span that consumes it).
+///
+/// Replicated stages split tensors across several channels, so comm
+/// pairing is skipped when any stage has replication > 1; compute and
+/// AllReduce spans still convert.
+pub fn observed_from_trace(trace: &StepTrace) -> Vec<ObservedSpan> {
+    let mut out = Vec::new();
+    let replicated = trace.replication.iter().any(|&r| r > 1);
+    let last_stage = trace.replication.len().saturating_sub(1);
+    // (boundary, micro) → (start_ns, end_ns, bytes) of the send /
+    // (start, end) of the matching receive wait.
+    let mut fw_send: HashMap<(usize, u32), (u64, u64, u64)> = HashMap::new();
+    let mut bw_send: HashMap<(usize, u32), (u64, u64, u64)> = HashMap::new();
+    let mut fw_recv: HashMap<(usize, u32), (u64, u64)> = HashMap::new();
+    let mut bw_recv: HashMap<(usize, u32), (u64, u64)> = HashMap::new();
+
+    let is_compute = |k: SpanKind| matches!(k, SpanKind::Fw | SpanKind::Bw | SpanKind::Recompute);
+    for w in &trace.workers {
+        let s = w.stage;
+        // Index into `out` of the last compute observation this worker
+        // produced. CommSend spans are worker-busy time the simulator does
+        // not price separately (it charges handoffs to a boundary channel,
+        // not to the sending worker), so their duration is folded into the
+        // preceding compute observation to keep the worker's busy time whole.
+        let mut last_compute: Option<usize> = None;
+        for (i, sp) in w.spans.iter().enumerate() {
+            let dur_us = sp.dur_ns() as f64 / 1e3;
+            match sp.kind {
+                SpanKind::Fw => {
+                    last_compute = Some(out.len());
+                    out.push(ObservedSpan::Fw { stage: s, dur_us });
+                }
+                SpanKind::Bw => {
+                    last_compute = Some(out.len());
+                    out.push(ObservedSpan::Bw { stage: s, dur_us });
+                }
+                SpanKind::CommSend => {
+                    if let Some(idx) = last_compute {
+                        match &mut out[idx] {
+                            ObservedSpan::Fw { dur_us: d, .. }
+                            | ObservedSpan::Bw { dur_us: d, .. } => *d += dur_us,
+                            _ => {}
+                        }
+                    }
+                    if replicated {
+                        continue;
+                    }
+                    let prev = w.spans[..i].iter().rev().find(|p| is_compute(p.kind));
+                    match prev.map(|p| p.kind) {
+                        Some(SpanKind::Fw) if s < last_stage => {
+                            fw_send.insert((s, sp.micro), (sp.start_ns, sp.end_ns, sp.bytes));
+                        }
+                        Some(SpanKind::Bw | SpanKind::Recompute) if s > 0 => {
+                            bw_send.insert((s - 1, sp.micro), (sp.start_ns, sp.end_ns, sp.bytes));
+                        }
+                        _ => {}
+                    }
+                }
+                SpanKind::CommRecvWait if !replicated => {
+                    let next = w.spans[i + 1..].iter().find(|p| is_compute(p.kind));
+                    match next.map(|p| p.kind) {
+                        Some(SpanKind::Fw) if s > 0 => {
+                            fw_recv.insert((s - 1, sp.micro), (sp.start_ns, sp.end_ns));
+                        }
+                        Some(SpanKind::Bw | SpanKind::Recompute) if s < last_stage => {
+                            bw_recv.insert((s, sp.micro), (sp.start_ns, sp.end_ns));
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // A delivery is only observable when the receiver was already blocked
+    // before the send began (recv_start <= send_start): then the wait's tail
+    // past the send completion is pure transfer time. Measuring from
+    // send_end (not send_start) keeps the sender's packing cost — already
+    // folded into its compute observation above — from being double-counted.
+    let mut pair = |sends: &HashMap<(usize, u32), (u64, u64, u64)>,
+                    recvs: &HashMap<(usize, u32), (u64, u64)>,
+                    forward: bool| {
+        for (&(boundary, micro), &(send_start, send_end, bytes)) in sends {
+            let Some(&(recv_start, recv_end)) = recvs.get(&(boundary, micro)) else {
+                continue;
+            };
+            if recv_start <= send_start && recv_end >= send_end {
+                let dur_us = (recv_end - send_end) as f64 / 1e3;
+                out.push(if forward {
+                    ObservedSpan::CommF {
+                        boundary,
+                        bytes,
+                        dur_us,
+                    }
+                } else {
+                    ObservedSpan::CommB {
+                        boundary,
+                        bytes,
+                        dur_us,
+                    }
+                });
+            }
+        }
+    };
+    pair(&fw_send, &fw_recv, true);
+    pair(&bw_send, &bw_recv, false);
+
+    for c in &trace.coord {
+        if c.span.kind == SpanKind::AllReduce {
+            if let Some(stage) = c.stage {
+                out.push(ObservedSpan::AllReduce {
+                    stage,
+                    bytes: c.span.bytes,
+                    replicas: trace.replication.get(stage).copied().unwrap_or(1),
+                    dur_us: c.span.dur_ns() as f64 / 1e3,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Per-step and pooled measurements from repeated traced engine steps.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Per-step makespans in execution order, µs.
+    pub makespans_us: Vec<f64>,
+    /// Median-step makespan, µs.
+    pub makespan_us: f64,
+    /// (min, max) step makespan, µs.
+    pub spread_us: (f64, f64),
+    /// Phase decomposition of the median step.
+    pub phases: PhaseSplit,
+    /// Mean bubble ratio of the median step.
+    pub bubble: f64,
+    /// Per-stage busy fractions of the median step.
+    pub stage_busy_fraction: Vec<f64>,
+    /// Observations pooled across all steps (for the [`Calibrator`]).
+    pub spans: Vec<ObservedSpan>,
+}
+
+/// Runs `iters` traced engine steps of the scenario (after 2 untimed
+/// warmup steps) and aggregates them: the median step provides the
+/// timeline, every step contributes calibration spans.
+pub fn measure(scenario: &Scenario, iters: usize) -> Measurement {
+    let iters = iters.max(1);
     let out_dim = *scenario.dims.last().expect("dims");
     let model = MlpModel::new(&scenario.dims, 42);
-    let rows = scenario.batch / scenario.micro_batches;
-    let graph = calibrate_graph(&model, rows, 9);
-    let sim = predict(scenario, &graph);
-
     let mut cfg =
         EngineConfig::straight(scenario.stage_bounds.clone(), scenario.micro_batches, 0.01);
     cfg.tracing = true;
     let trainer = PipelineTrainer::new(model, cfg).expect("valid scenario config");
     let (x, t) = data::regression_batch(scenario.batch, scenario.dims[0], out_dim, 7);
-    // Warm the thread pool, channels and allocator before measuring.
+    // Warm the thread pool, channels, buffer pools and allocator.
     for _ in 0..2 {
         trainer.step_grads(&x, &t).expect("warmup step");
     }
-    let outcome = trainer
-        .step_grads_with_faults(&x, &t, &FaultPlan::new())
-        .expect("measured step");
-    let trace = outcome.trace.expect("tracing was enabled");
-    let metrics = trace.metrics();
-
-    let predicted = sim.phase_split();
-    let measured = trace.phase_split();
-    let measured_makespan_us = metrics.makespan_ns as f64 / 1e3;
-    Validation {
-        predicted_makespan_us: sim.makespan_us,
-        measured_makespan_us,
-        predicted_bubble: sim.bubble_ratio(),
-        measured_bubble: metrics.bubble_ratio,
+    let mut traces: Vec<StepTrace> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let outcome = trainer
+            .step_grads_with_faults(&x, &t, &FaultPlan::new())
+            .expect("measured step");
+        traces.push(outcome.trace.expect("tracing was enabled"));
+    }
+    let makespans_us: Vec<f64> = traces
+        .iter()
+        .map(|tr| tr.metrics().makespan_ns as f64 / 1e3)
+        .collect();
+    let mut order: Vec<usize> = (0..iters).collect();
+    order.sort_by(|&a, &b| makespans_us[a].total_cmp(&makespans_us[b]));
+    let median = order[iters / 2];
+    let spread_us = (makespans_us[order[0]], makespans_us[order[iters - 1]]);
+    let metrics = traces[median].metrics();
+    let spans = traces.iter().flat_map(observed_from_trace).collect();
+    Measurement {
+        makespan_us: makespans_us[median],
+        phases: traces[median].phase_split(),
+        bubble: metrics.bubble_ratio,
         stage_busy_fraction: metrics.stages.iter().map(|s| s.busy_fraction).collect(),
-        makespan_error: relative_error(sim.makespan_us, measured_makespan_us),
-        phase_errors: [
-            relative_error(predicted.warmup_us, measured.warmup_us),
-            relative_error(predicted.steady_us, measured.steady_us),
-            relative_error(predicted.tail_us, measured.tail_us),
-        ],
-        predicted,
-        measured,
+        makespans_us,
+        spread_us,
+        spans,
     }
 }
 
-/// The `validation` experiment: predicted-vs-actual table for the default
-/// scenario.
-pub fn validation() -> Report {
-    let scenario = Scenario::default_2stage();
-    let v = run_validation(&scenario);
-    let mut text = String::new();
-    let mut csv = String::from("phase,predicted_us,measured_us,rel_err\n");
-    text.push_str(&format!(
-        "{:<10} {:>14} {:>14} {:>9}\n",
-        "phase", "predicted_us", "measured_us", "rel_err"
-    ));
-    let rows = [
-        (
-            "warmup",
+/// Aligns a simulated timeline with a measurement into a validation row.
+fn compare(sim: &SimResult, meas: &Measurement) -> Validation {
+    let predicted = sim.phase_split();
+    Validation {
+        predicted_makespan_us: sim.makespan_us,
+        measured_makespan_us: meas.makespan_us,
+        measured_spread_us: meas.spread_us,
+        measured_iters: meas.makespans_us.len(),
+        predicted_bubble: sim.bubble_ratio(),
+        measured_bubble: meas.bubble,
+        stage_busy_fraction: meas.stage_busy_fraction.clone(),
+        makespan_error: relative_error(sim.makespan_us, meas.makespan_us),
+        phase_errors: [
+            relative_error(predicted.warmup_us, meas.phases.warmup_us),
+            relative_error(predicted.steady_us, meas.phases.steady_us),
+            relative_error(predicted.tail_us, meas.phases.tail_us),
+        ],
+        predicted,
+        measured: meas.phases,
+    }
+}
+
+/// Runs the scenario end to end once: calibrate per-layer times in
+/// isolation, simulate, execute [`MEASURE_ITERS`] traced steps, and
+/// compare the timelines. This is the *uncalibrated* prediction —
+/// [`calibrate_validation`] iterates from here.
+pub fn run_validation(scenario: &Scenario) -> Validation {
+    let model = MlpModel::new(&scenario.dims, 42);
+    let rows = (scenario.batch / scenario.micro_batches.max(1)).max(1);
+    let graph = calibrate_graph(&model, rows, 9);
+    let sim = predict(scenario, &graph);
+    let meas = measure(scenario, MEASURE_ITERS);
+    compare(&sim, &meas)
+}
+
+/// The calibration loop's result: one validation row per round.
+#[derive(Debug, Clone)]
+pub struct CalibrationOutcome {
+    /// Round 0 predicts from the isolated analytic profile; each later
+    /// round predicts from the previous round's trace-calibrated profile.
+    pub rounds: Vec<Validation>,
+    /// Whether the last round met [`CALIBRATION_TOLERANCE`].
+    pub converged: bool,
+}
+
+impl CalibrationOutcome {
+    /// The last (best-calibrated) validation row.
+    pub fn final_round(&self) -> &Validation {
+        self.rounds.last().expect("at least one round")
+    }
+}
+
+/// Convergence test: the makespan and the dominant steady phase must meet
+/// the relative bar outright. The sliver phases (warmup, tail — a few
+/// percent of the step each) additionally count as converged on absolute
+/// agreement within 2% of the step or half the observed run-to-run
+/// makespan spread, whichever is larger: a bar tighter than the machine's
+/// own step-to-step noise can never be met, only gotten lucky on.
+fn within_tolerance(v: &Validation) -> bool {
+    let spread = v.measured_spread_us.1 - v.measured_spread_us.0;
+    let slack = (0.02 * v.measured_makespan_us).max(0.5 * spread);
+    let phase_ok = |p: f64, m: f64, e: f64| e < CALIBRATION_TOLERANCE || (p - m).abs() < slack;
+    v.makespan_error < CALIBRATION_TOLERANCE
+        && v.phase_errors[1] < CALIBRATION_TOLERANCE
+        && phase_ok(
             v.predicted.warmup_us,
             v.measured.warmup_us,
             v.phase_errors[0],
-        ),
-        (
-            "steady",
-            v.predicted.steady_us,
-            v.measured.steady_us,
-            v.phase_errors[1],
-        ),
-        (
-            "tail",
-            v.predicted.tail_us,
-            v.measured.tail_us,
-            v.phase_errors[2],
-        ),
-        (
-            "makespan",
-            v.predicted_makespan_us,
-            v.measured_makespan_us,
-            v.makespan_error,
-        ),
-    ];
-    for (name, p, m, e) in rows {
-        text.push_str(&format!("{name:<10} {p:>14.1} {m:>14.1} {e:>9.3}\n"));
-        csv.push_str(&format!("{name},{p:.3},{m:.3},{e:.4}\n"));
+        )
+        && phase_ok(v.predicted.tail_us, v.measured.tail_us, v.phase_errors[2])
+}
+
+/// The iterate loop: profile → predict → measure → calibrate → re-predict,
+/// until [`within_tolerance`] or `max_rounds` rounds.
+///
+/// Each round feeds the pooled in-pipeline spans of the *measured* steps
+/// into a [`Calibrator`]; the next round's simulator runs on the corrected
+/// per-layer profile and the fitted/overridden channel costs.
+pub fn calibrate_validation(
+    scenario: &Scenario,
+    max_rounds: usize,
+    iters: usize,
+) -> CalibrationOutcome {
+    let model = MlpModel::new(&scenario.dims, 42);
+    let rows = (scenario.batch / scenario.micro_batches.max(1)).max(1);
+    let graph = calibrate_graph(&model, rows, 9);
+    let cluster = loopback_cluster(scenario.stage_bounds.len());
+    let base_profile = ModelProfile::profile(&graph, &cluster.device);
+    let stage_samples = scenario.stage_samples();
+
+    let mut profile = base_profile.clone();
+    let mut comm: Option<CommCalibration> = None;
+    let mut rounds = Vec::new();
+    let mut converged = false;
+    // Spans accumulate across rounds: each re-calibration sees every
+    // measurement taken so far, so the estimates converge toward the
+    // machine's typical behaviour instead of chasing round-to-round load
+    // drift (a single round's medians can be skewed by a transient spike).
+    let mut all_spans: Vec<ObservedSpan> = Vec::new();
+    for _ in 0..max_rounds.max(1) {
+        let sim = predict_profile(scenario, &profile, comm.as_ref());
+        let meas = measure(scenario, iters);
+        let v = compare(&sim, &meas);
+        let done = within_tolerance(&v);
+        all_spans.extend(meas.spans.iter().cloned());
+        rounds.push(v);
+        if done {
+            converged = true;
+            break;
+        }
+        let mut calibrator =
+            Calibrator::new(&base_profile, &scenario.stage_bounds, &stage_samples, 0.0);
+        calibrator.observe_all(all_spans.iter().cloned());
+        let cal = calibrator.finish();
+        profile = cal.profile;
+        comm = Some(cal.comm);
     }
+    CalibrationOutcome { rounds, converged }
+}
+
+/// Outcome of planning the same model twice — from the analytic
+/// FLOPs-proportional profile and from a measured one — and running both
+/// chosen plans on the real engine.
+#[derive(Debug, Clone)]
+pub struct ReplanOutcome {
+    /// Layer widths of the scenario model.
+    pub dims: Vec<usize>,
+    /// Global batch rows.
+    pub batch: usize,
+    /// Stage cut the analytic planner chose.
+    pub analytic_bounds: Vec<Range<usize>>,
+    /// Micro-batch count the analytic planner chose.
+    pub analytic_micro: usize,
+    /// Stage cut the measured-profile planner chose.
+    pub calibrated_bounds: Vec<Range<usize>>,
+    /// Micro-batch count the measured-profile planner chose.
+    pub calibrated_micro: usize,
+    /// Median measured engine step under the analytic plan, µs.
+    pub analytic_us: f64,
+    /// Median measured engine step under the calibrated plan, µs.
+    pub calibrated_us: f64,
+    /// Whether the two planners disagreed (cut or micro-batching).
+    pub plans_differ: bool,
+    /// `analytic_us / calibrated_us` — >1 means re-planning from the
+    /// measured profile paid off.
+    pub speedup: f64,
+}
+
+/// What the planner knows about an MLP before anything has run: FLOPs
+/// divided by the nominal device rate, exact parameter/activation sizes.
+fn analytic_graph(dims: &[usize]) -> ModelGraph {
+    let mib = |b: f64| b / (1024.0 * 1024.0);
+    let triples: Vec<(f64, f64, f64)> = dims
+        .windows(2)
+        .map(|w| {
+            let (i, o) = (w[0] as f64, w[1] as f64);
+            let flops = 2.0 * i * o + o; // dense matmul + bias, per sample
+            (flops / 1.0e13 * 1e6, mib((i * o + o) * 4.0), mib(o * 4.0))
+        })
+        .collect();
+    synthetic::from_triples(&triples)
+}
+
+/// A 2-device loopback cluster whose per-device memory admits every
+/// 2-stage split of `profile` (at micro-batches down to `batch / 4`) but
+/// not the whole model on one device — so the planner must pipeline
+/// instead of falling back to pure data parallelism, and the only degrees
+/// of freedom left are the cut and the micro-batch count.
+fn pipeline_forcing_cluster(profile: &ModelProfile, mm: &MemoryModel, batch: usize) -> Cluster {
+    let n = profile.num_layers();
+    // Cheapest single-device plan the planner could try: slice 1, one
+    // live micro-batch. Anything below this kills single-stage plans.
+    let dp_floor = mm.stage_peak_bytes(profile, 0..n, 1.0, 1, false).0;
+    // Most expensive half-stage at a generous micro-batch slice: anything
+    // above this keeps every cut feasible without distorting its choice.
+    // batch/16 leaves the planner micro-batch counts from 16 up to the
+    // batch to choose between — the range where the analytic and
+    // calibrated models actually disagree.
+    let slice = (batch as f64 / 16.0).max(1.0);
+    let cut_ceiling = (1..n)
+        .map(|c| {
+            let head = mm.stage_peak_bytes(profile, 0..c, slice, 1, false).0;
+            let tail = mm.stage_peak_bytes(profile, c..n, slice, 1, false).0;
+            head.max(tail)
+        })
+        .max()
+        .expect("at least one cut");
+    assert!(
+        cut_ceiling < dp_floor,
+        "model state must dominate activations for the memory constraint \
+         to separate pipelining from pure DP (cut {cut_ceiling} vs dp {dp_floor})"
+    );
+    let device = DeviceSpec {
+        flops: 1.0e13,
+        mem: Bytes(cut_ceiling + (dp_floor - cut_ceiling) / 2),
+        launch_us: 0.0,
+    };
+    let link = Interconnect {
+        bandwidth: 1.0e15,
+        latency_us: 0.0,
+    };
+    Cluster::new("constrained-loopback", vec![1, 1], device, link, link)
+}
+
+/// Stage bounds of a planned strategy, in layer order.
+fn bounds_of(plan: &Plan) -> Vec<Range<usize>> {
+    let mut bounds: Vec<Range<usize>> = plan.stages.iter().map(|s| s.layers.clone()).collect();
+    bounds.sort_by_key(|r| r.start);
+    bounds
+}
+
+/// Plans the replan-demo model twice — once from the analytic profile and
+/// once from a profile measured on the engine itself — and runs both
+/// chosen plans through real engine steps.
+///
+/// The measured profile comes from a one-layer-per-stage profiling run:
+/// its traced spans give the `Calibrator` exact per-layer in-pipeline
+/// compute times and per-boundary channel costs, so the second planner
+/// ranks candidates by what the runtime actually does. The analytic
+/// planner prices channels at zero and assumes every FLOP runs at the
+/// nominal rate, which makes huge micro-batch counts look free.
+pub fn replan_from_measured(smoke: bool, iters: usize) -> ReplanOutcome {
+    let (dims, batch) = if smoke {
+        (vec![16, 48, 16, 48, 16], 32)
+    } else {
+        (vec![128, 512, 128, 96, 512, 384, 64], 256)
+    };
+    let n = dims.len() - 1;
+    let graph = analytic_graph(&dims);
+    // The default 0.75 GiB workspace dwarfs an MLP's few-MB state and
+    // would flatten the single-device-vs-half-stage memory gap the demo
+    // cluster is sized around; scale it to the synthetic device instead.
+    let mm = MemoryModel {
+        optimizer: OptimizerKind::Sgd,
+        workspace: Bytes::mb(4.0),
+    };
+    // Profile on the reference device first; memory numbers are identical
+    // in the analytic and measured profiles (sizes are exact either way).
+    let probe = loopback_cluster(2);
+    let analytic_profile = ModelProfile::profile(&graph, &probe.device);
+    let cluster = pipeline_forcing_cluster(&analytic_profile, &mm, batch);
+    let cfg = PlannerConfig::new(batch);
+
+    let analytic = DapplePlanner::new(&analytic_profile, &cluster, mm, cfg)
+        .plan()
+        .expect("analytic plan");
+
+    // Profiling run: one layer per stage, so stage medians disaggregate
+    // to per-layer times exactly and every boundary gets channel samples.
+    let profile_m = if smoke { 4 } else { 8 };
+    let profiling = Scenario {
+        dims: dims.clone(),
+        stage_bounds: (0..n).map(|i| i..i + 1).collect(),
+        batch,
+        micro_batches: profile_m,
+    };
+    let meas = measure(&profiling, iters);
+    let mut calibrator = Calibrator::new(
+        &analytic_profile,
+        &profiling.stage_bounds,
+        &profiling.stage_samples(),
+        0.0,
+    );
+    calibrator.observe_all(meas.spans.iter().cloned());
+    let cal = calibrator.finish();
+    let calibrated = DapplePlanner::new(&cal.profile, &cluster, mm, cfg)
+        .with_calibration(cal.comm.clone())
+        .plan()
+        .expect("calibrated plan");
+
+    // Judge both on the engine, each at the micro-batching it chose.
+    let run = |bounds: Vec<Range<usize>>, micro: usize| {
+        let scenario = Scenario {
+            dims: dims.clone(),
+            stage_bounds: bounds,
+            batch,
+            micro_batches: micro.clamp(1, batch),
+        };
+        measure(&scenario, iters).makespan_us
+    };
+    let analytic_bounds = bounds_of(&analytic.plan);
+    let calibrated_bounds = bounds_of(&calibrated.plan);
+    let analytic_us = run(analytic_bounds.clone(), analytic.micro_batches);
+    let calibrated_us = run(calibrated_bounds.clone(), calibrated.micro_batches);
+    let plans_differ =
+        analytic_bounds != calibrated_bounds || analytic.micro_batches != calibrated.micro_batches;
+    ReplanOutcome {
+        dims,
+        batch,
+        analytic_micro: analytic.micro_batches,
+        calibrated_micro: calibrated.micro_batches,
+        analytic_bounds,
+        calibrated_bounds,
+        analytic_us,
+        calibrated_us,
+        plans_differ,
+        speedup: analytic_us / calibrated_us.max(1e-9),
+    }
+}
+
+/// The `validation` experiment: the calibration loop's round-by-round
+/// table for the default scenario.
+pub fn validation() -> Report {
+    let scenario = Scenario::default_2stage();
+    let outcome = calibrate_validation(&scenario, MAX_CALIBRATION_ROUNDS, MEASURE_ITERS);
+    let mut text = String::new();
+    let mut csv = String::from(
+        "round,phase,predicted_us,measured_us,measured_min_us,measured_max_us,rel_err\n",
+    );
     text.push_str(&format!(
-        "bubble ratio: predicted {:.3}, measured {:.3}; stage busy fractions: {}\n",
-        v.predicted_bubble,
-        v.measured_bubble,
-        v.stage_busy_fraction
+        "{:<6} {:<10} {:>14} {:>14} {:>9}\n",
+        "round", "phase", "predicted_us", "measured_us", "rel_err"
+    ));
+    for (round, v) in outcome.rounds.iter().enumerate() {
+        let rows = [
+            (
+                "warmup",
+                v.predicted.warmup_us,
+                v.measured.warmup_us,
+                v.phase_errors[0],
+            ),
+            (
+                "steady",
+                v.predicted.steady_us,
+                v.measured.steady_us,
+                v.phase_errors[1],
+            ),
+            (
+                "tail",
+                v.predicted.tail_us,
+                v.measured.tail_us,
+                v.phase_errors[2],
+            ),
+            (
+                "makespan",
+                v.predicted_makespan_us,
+                v.measured_makespan_us,
+                v.makespan_error,
+            ),
+        ];
+        for (name, p, m, e) in rows {
+            text.push_str(&format!(
+                "{round:<6} {name:<10} {p:>14.1} {m:>14.1} {e:>9.3}\n"
+            ));
+            csv.push_str(&format!(
+                "{round},{name},{p:.3},{m:.3},{:.3},{:.3},{e:.4}\n",
+                v.measured_spread_us.0, v.measured_spread_us.1
+            ));
+        }
+    }
+    let last = outcome.final_round();
+    text.push_str(&format!(
+        "converged: {} in {} round(s); measured spread [{:.1}, {:.1}] µs over {} steps\n\
+         bubble ratio: predicted {:.3}, measured {:.3}; stage busy fractions: {}\n",
+        outcome.converged,
+        outcome.rounds.len(),
+        last.measured_spread_us.0,
+        last.measured_spread_us.1,
+        last.measured_iters,
+        last.predicted_bubble,
+        last.measured_bubble,
+        last.stage_busy_fraction
             .iter()
             .map(|f| format!("{f:.3}"))
             .collect::<Vec<_>>()
@@ -277,7 +804,7 @@ pub fn validation() -> Report {
     ));
     Report {
         id: "validation",
-        title: "Predicted vs. measured 1F1B timeline (2-stage MLP, M=8)".to_string(),
+        title: "Trace-calibrated 1F1B timeline prediction (2-stage MLP, M=8)".to_string(),
         text,
         csv,
     }
@@ -328,6 +855,78 @@ mod tests {
         }
         assert!(v.measured_bubble >= 0.0 && v.measured_bubble <= 1.0);
         assert_eq!(v.stage_busy_fraction.len(), 2);
+        // The measurement really ran MEASURE_ITERS steps and the median
+        // sits inside the recorded spread.
+        assert_eq!(v.measured_iters, MEASURE_ITERS);
+        let (lo, hi) = v.measured_spread_us;
+        assert!(lo <= v.measured_makespan_us && v.measured_makespan_us <= hi);
+    }
+
+    /// A traced step converts into compute observations for every stage,
+    /// with plausible durations.
+    #[test]
+    fn traced_step_converts_to_observations() {
+        let s = tiny();
+        let meas = measure(&s, 2);
+        let mut fw_stages = [false; 2];
+        let mut bw_stages = [false; 2];
+        for sp in &meas.spans {
+            match *sp {
+                ObservedSpan::Fw { stage, dur_us } => {
+                    assert!(dur_us >= 0.0);
+                    fw_stages[stage] = true;
+                }
+                ObservedSpan::Bw { stage, dur_us } => {
+                    assert!(dur_us >= 0.0);
+                    bw_stages[stage] = true;
+                }
+                ObservedSpan::CommF {
+                    boundary, dur_us, ..
+                }
+                | ObservedSpan::CommB {
+                    boundary, dur_us, ..
+                } => {
+                    assert_eq!(boundary, 0, "2 stages have a single boundary");
+                    assert!(dur_us >= 0.0);
+                }
+                ObservedSpan::AllReduce { .. } => {}
+            }
+        }
+        assert!(fw_stages.iter().all(|&b| b), "fw spans on every stage");
+        assert!(bw_stages.iter().all(|&b| b), "bw spans on every stage");
+    }
+
+    /// The calibration loop runs, produces at least one round, and every
+    /// round's numbers are finite. Convergence itself is asserted by the
+    /// bench gate on quiet machines, not in CI unit tests.
+    #[test]
+    fn calibration_loop_runs_and_stays_finite() {
+        let outcome = calibrate_validation(&tiny(), 2, 2);
+        assert!(!outcome.rounds.is_empty() && outcome.rounds.len() <= 2);
+        for v in &outcome.rounds {
+            assert!(v.predicted_makespan_us > 0.0);
+            assert!(v.measured_makespan_us > 0.0);
+            assert!(!v.makespan_error.is_nan());
+        }
+        if outcome.converged {
+            assert!(within_tolerance(outcome.final_round()));
+        }
+    }
+
+    /// The replan demo produces two feasible straight plans covering all
+    /// layers, and both run on the engine.
+    #[test]
+    fn replan_smoke_produces_runnable_plans() {
+        let r = replan_from_measured(true, 2);
+        for bounds in [&r.analytic_bounds, &r.calibrated_bounds] {
+            assert_eq!(bounds.first().map(|b| b.start), Some(0));
+            assert_eq!(bounds.last().map(|b| b.end), Some(r.dims.len() - 1));
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "stages must tile the layers");
+            }
+        }
+        assert!(r.analytic_us > 0.0 && r.calibrated_us > 0.0);
+        assert!(r.speedup.is_finite());
     }
 
     #[test]
@@ -335,6 +934,7 @@ mod tests {
         let r = validation();
         assert_eq!(r.id, "validation");
         assert!(r.text.contains("makespan"));
+        assert!(r.text.contains("converged"));
         assert!(r.csv.lines().count() >= 5);
     }
 }

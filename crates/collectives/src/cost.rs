@@ -1,7 +1,9 @@
-//! Analytic communication cost models.
+//! Analytic communication cost models, plus the measured corrections a
+//! trace-driven calibration pass can substitute for them.
 
 use dapple_cluster::Cluster;
 use dapple_core::{Bytes, DeviceId};
+use std::collections::BTreeMap;
 
 /// Fixed kernel-launch/split-concat overhead added per boundary transfer
 /// that needs re-batching (§V-B2: split/concat is cheaper than the tail
@@ -113,6 +115,138 @@ pub fn cross_stage_us(
     } else {
         t
     }
+}
+
+/// Measured corrections to the analytic communication model, produced by
+/// the profiler's `Calibrator` from engine trace spans.
+///
+/// Two levels of fidelity:
+/// * **Overrides** — exact measured per-micro-batch times keyed by where
+///   the transfer happened (the boundary's cut layer, or the AllReduce
+///   stage's layer range). Re-predicting the *same* partition hits these
+///   and reproduces the measurement directly.
+/// * **Fitted α/β terms** — an affine `t = α + bytes · β` model fitted by
+///   least squares over all observed transfers, used for cuts the
+///   profiling run never exercised (re-planning explores those). Both
+///   terms are clamped non-negative: a latency or a bandwidth can be
+///   mis-estimated, never negative.
+///
+/// Query methods return `None` when nothing relevant was observed, so
+/// callers fall back to the analytic [`cross_stage_us`] / [`allreduce_us`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommCalibration {
+    /// Fitted per-transfer latency for cross-stage boundary sends, µs.
+    pub cross_alpha_us: f64,
+    /// Fitted per-byte cross-stage cost, µs/byte (1/bandwidth).
+    pub cross_us_per_byte: f64,
+    /// True when at least one boundary transfer was observed.
+    pub cross_observed: bool,
+    /// Measured per-micro-batch *forward* (activation) transfer time keyed
+    /// by the boundary's cut layer (the sending stage's `layers.end`), µs.
+    pub cross_fw_override_us: BTreeMap<usize, f64>,
+    /// Measured per-micro-batch *backward* (gradient) transfer time keyed
+    /// by the boundary's cut layer, µs. Forward and backward handoffs move
+    /// the same byte count but real runtimes hand them off asymmetrically
+    /// (the consumer's wakeup cost differs by direction), so the two are
+    /// calibrated separately.
+    pub cross_bw_override_us: BTreeMap<usize, f64>,
+    /// Fitted per-hop ring latency, µs.
+    pub ar_alpha_us: f64,
+    /// Fitted per-byte ring cost, µs/byte.
+    pub ar_us_per_byte: f64,
+    /// True when at least one AllReduce was observed.
+    pub ar_observed: bool,
+    /// Measured AllReduce wall time keyed by the stage's layer range, µs.
+    pub ar_override_us: BTreeMap<(usize, usize), f64>,
+}
+
+impl CommCalibration {
+    /// Measured/fitted cross-stage transfer time for one micro-batch cut at
+    /// layer `cut_layer` — `backward` selects the gradient direction — or
+    /// `None` when no boundary was ever observed.
+    pub fn cross_stage_us(&self, cut_layer: usize, bytes: Bytes, backward: bool) -> Option<f64> {
+        let overrides = if backward {
+            &self.cross_bw_override_us
+        } else {
+            &self.cross_fw_override_us
+        };
+        if let Some(&t) = overrides.get(&cut_layer) {
+            return Some(t);
+        }
+        if self.cross_observed {
+            Some(self.cross_alpha_us + bytes.as_f64() * self.cross_us_per_byte)
+        } else {
+            None
+        }
+    }
+
+    /// Measured/fitted ring AllReduce time over `n` devices for a stage
+    /// spanning `layers`, or `None` when no AllReduce was ever observed.
+    /// Trivial groups (`n <= 1`) are free in reality and stay free here.
+    pub fn allreduce_us(&self, layers: (usize, usize), bytes: Bytes, n: usize) -> Option<f64> {
+        if let Some(&t) = self.ar_override_us.get(&layers) {
+            return Some(t);
+        }
+        if !self.ar_observed {
+            return None;
+        }
+        if n <= 1 || bytes == Bytes::ZERO {
+            return Some(0.0);
+        }
+        let steps = 2.0 * (n - 1) as f64;
+        let volume = 2.0 * (n - 1) as f64 / n as f64 * bytes.as_f64();
+        Some(steps * self.ar_alpha_us + volume * self.ar_us_per_byte)
+    }
+}
+
+/// Least-squares affine fit `t_us = α + bytes · β` over `(bytes, t_us)`
+/// samples, with both terms clamped non-negative.
+///
+/// Degenerate sample sets degrade gracefully: a single byte size cannot
+/// separate latency from bandwidth, so the whole cost is attributed to the
+/// per-byte term (transfers here are copy-dominated; a pure-bandwidth
+/// model extrapolates to unseen sizes far better than a pure-latency one).
+/// An empty set fits `(0, 0)`.
+pub fn fit_affine(samples: &[(f64, f64)]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean_x = samples.iter().map(|s| s.0).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|s| s.1).sum::<f64>() / n;
+    let var_x = samples.iter().map(|s| (s.0 - mean_x).powi(2)).sum::<f64>();
+    let through_origin = |samples: &[(f64, f64)]| {
+        let sxx = samples.iter().map(|s| s.0 * s.0).sum::<f64>();
+        let sxy = samples.iter().map(|s| s.0 * s.1).sum::<f64>();
+        if sxx > 0.0 {
+            (sxy / sxx).max(0.0)
+        } else {
+            0.0
+        }
+    };
+    if var_x < 1e-12 * mean_x.abs().max(1.0) {
+        // One distinct byte size: attribute everything to bandwidth.
+        let beta = through_origin(samples);
+        let alpha = if beta > 0.0 { 0.0 } else { mean_y.max(0.0) };
+        return (alpha, beta);
+    }
+    let cov = samples
+        .iter()
+        .map(|s| (s.0 - mean_x) * (s.1 - mean_y))
+        .sum::<f64>();
+    let mut beta = cov / var_x;
+    let mut alpha = mean_y - beta * mean_x;
+    if beta < 0.0 {
+        // Negative bandwidth is unphysical: refit as a pure latency.
+        beta = 0.0;
+        alpha = mean_y;
+    }
+    if alpha < 0.0 {
+        // Negative latency is unphysical: refit through the origin.
+        alpha = 0.0;
+        beta = through_origin(samples);
+    }
+    (alpha.max(0.0), beta.max(0.0))
 }
 
 #[cfg(test)]
@@ -240,6 +374,80 @@ mod tests {
         // Overlapping-but-different sets still pay as well.
         let shifted = cross_stage_us(Bytes::mb(8.0), &devs(0..4), &devs(1..5), &c);
         assert!(shifted > 0.0);
+    }
+
+    #[test]
+    fn fit_affine_recovers_exact_line() {
+        // t = 5 + 2e-3 * bytes, three sizes.
+        let samples = [(1000.0, 7.0), (2000.0, 9.0), (4000.0, 13.0)];
+        let (a, b) = fit_affine(&samples);
+        assert!((a - 5.0).abs() < 1e-9, "{a}");
+        assert!((b - 2e-3).abs() < 1e-12, "{b}");
+    }
+
+    /// Regression: fitted latency/bandwidth terms must never come out
+    /// negative, whatever the (noisy) samples say — a negative α or β
+    /// would make the calibrated planner prefer bigger transfers.
+    #[test]
+    fn fit_affine_clamps_terms_non_negative() {
+        // Decreasing time with size -> raw slope negative.
+        let dec = [(1000.0, 10.0), (2000.0, 8.0), (4000.0, 5.0)];
+        let (a, b) = fit_affine(&dec);
+        assert!(a >= 0.0 && b >= 0.0, "alpha={a} beta={b}");
+        // Raw intercept negative (steep line through large sizes).
+        let steep = [(1000.0, 1.0), (2000.0, 50.0), (3000.0, 99.0)];
+        let (a, b) = fit_affine(&steep);
+        assert!(a >= 0.0 && b >= 0.0, "alpha={a} beta={b}");
+        // The origin refit still explains the data's scale.
+        assert!(b > 0.0);
+        // Degenerate sets.
+        assert_eq!(fit_affine(&[]), (0.0, 0.0));
+        let (a, b) = fit_affine(&[(4096.0, 8.0), (4096.0, 10.0)]);
+        assert!(a >= 0.0 && b >= 0.0);
+        // Single size attributes the cost to bandwidth: re-predicting the
+        // measured size reproduces the mean.
+        assert!((a + 4096.0 * b - 9.0).abs() < 1e-9, "alpha={a} beta={b}");
+    }
+
+    #[test]
+    fn calibration_overrides_beat_fit_and_fall_back() {
+        let mut cal = CommCalibration {
+            cross_alpha_us: 2.0,
+            cross_us_per_byte: 1e-3,
+            cross_observed: true,
+            ..CommCalibration::default()
+        };
+        cal.cross_fw_override_us.insert(3, 42.0);
+        cal.cross_bw_override_us.insert(3, 99.0);
+        // Per-direction override hits at cut layer 3.
+        assert_eq!(cal.cross_stage_us(3, Bytes(1000), false), Some(42.0));
+        assert_eq!(cal.cross_stage_us(3, Bytes(1000), true), Some(99.0));
+        // Fit for an unseen cut (shared across directions).
+        assert_eq!(cal.cross_stage_us(5, Bytes(1000), false), Some(3.0));
+        assert_eq!(cal.cross_stage_us(5, Bytes(1000), true), Some(3.0));
+        // Nothing observed -> None (caller keeps the analytic model).
+        let empty = CommCalibration::default();
+        assert_eq!(empty.cross_stage_us(3, Bytes(1000), false), None);
+        assert_eq!(empty.allreduce_us((0, 4), Bytes(1000), 4), None);
+    }
+
+    #[test]
+    fn calibrated_allreduce_follows_ring_shape() {
+        let cal = CommCalibration {
+            ar_alpha_us: 1.0,
+            ar_us_per_byte: 1e-3,
+            ar_observed: true,
+            ..CommCalibration::default()
+        };
+        // n = 4: steps 6, volume 1.5 * bytes.
+        let t = cal.allreduce_us((0, 2), Bytes(1000), 4).unwrap();
+        assert!((t - (6.0 + 1.5 * 1000.0 * 1e-3)).abs() < 1e-9, "{t}");
+        // Trivial group is free even when calibrated.
+        assert_eq!(cal.allreduce_us((0, 2), Bytes(1000), 1), Some(0.0));
+        // Override keyed by layer range wins.
+        let mut cal = cal;
+        cal.ar_override_us.insert((0, 2), 7.5);
+        assert_eq!(cal.allreduce_us((0, 2), Bytes(1000), 4), Some(7.5));
     }
 
     #[test]

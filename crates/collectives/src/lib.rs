@@ -16,5 +16,7 @@
 pub mod cost;
 pub mod ring;
 
-pub use cost::{allreduce_us, cross_stage_us, p2p_us, SPLIT_CONCAT_OVERHEAD_US};
+pub use cost::{
+    allreduce_us, cross_stage_us, fit_affine, p2p_us, CommCalibration, SPLIT_CONCAT_OVERHEAD_US,
+};
 pub use ring::{allreduce_mean, allreduce_sum};

@@ -28,6 +28,6 @@ pub mod quantity;
 pub use chrome::{chrome_trace_json, ChromeArg, ChromeEvent};
 pub use error::{DappleError, Result};
 pub use ids::{DeviceId, LayerId, MachineId, StageId};
-pub use phase::{relative_error, PhaseSplit, PhaseTag};
+pub use phase::{bubble_ratio, relative_error, PhaseSplit, PhaseTag};
 pub use plan::{Plan, PlanKind, StagePlan};
 pub use quantity::{Bytes, TimeUs};

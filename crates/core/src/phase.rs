@@ -69,6 +69,29 @@ impl PhaseSplit {
     }
 }
 
+/// Bubble ratio of a pipeline timeline from per-stage busy time.
+///
+/// Defined as the mean over stages of `1 - busy_i / makespan`, with each
+/// stage's occupancy capped at 1 (a replicated stage reports per-replica
+/// busy time; measurement jitter can nudge it past the makespan). Both the
+/// simulator's `SimResult::bubble_ratio` and the engine's
+/// `StepMetrics::bubble_ratio` lower into this one definition, so the
+/// predicted and measured numbers are comparable by construction.
+///
+/// Degenerate inputs (no stages, or a non-positive makespan) report 1.0 —
+/// an empty timeline is all bubble.
+pub fn bubble_ratio(busy_us: &[f64], makespan_us: f64) -> f64 {
+    if busy_us.is_empty() || makespan_us <= 0.0 {
+        return 1.0;
+    }
+    let mean_occupancy: f64 = busy_us
+        .iter()
+        .map(|&b| (b / makespan_us).min(1.0))
+        .sum::<f64>()
+        / busy_us.len() as f64;
+    1.0 - mean_occupancy
+}
+
 /// Relative error of a prediction against a measurement, `|p - m| / m`.
 ///
 /// A zero (or tiny) measurement with a matching prediction reports 0, so
@@ -132,6 +155,19 @@ mod tests {
         let p = PhaseSplit::from_spans(spans);
         assert!((p.total_us() - 8.0).abs() < 1e-12);
         assert!(p.warmup_us >= 0.0 && p.steady_us >= 0.0 && p.tail_us >= 0.0);
+    }
+
+    #[test]
+    fn bubble_ratio_is_mean_per_stage_idle_share() {
+        // Two stages, makespan 100: busy 60 and 40 -> bubbles 0.4 and 0.6.
+        assert!((bubble_ratio(&[60.0, 40.0], 100.0) - 0.5).abs() < 1e-12);
+        // Fully busy single stage: zero bubble.
+        assert_eq!(bubble_ratio(&[100.0], 100.0), 0.0);
+        // Occupancy above 1 (replica jitter) is capped, not negative.
+        assert_eq!(bubble_ratio(&[150.0], 100.0), 0.0);
+        // Degenerate timelines are all bubble.
+        assert_eq!(bubble_ratio(&[], 100.0), 1.0);
+        assert_eq!(bubble_ratio(&[10.0], 0.0), 1.0);
     }
 
     #[test]

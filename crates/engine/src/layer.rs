@@ -127,11 +127,23 @@ impl Dense {
     /// of the old `DenseCache` which duplicated every activation).
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let mut y = x.matmul(&self.w);
+        self.finish_forward(&mut y);
+        y
+    }
+
+    /// [`Dense::forward`] into a caller-provided buffer (recycled contents
+    /// allowed). Bit-identical to `forward`, without the allocation.
+    pub fn forward_into(&self, x: &Tensor, y: &mut Tensor) {
+        x.matmul_into(&self.w, y);
+        self.finish_forward(y);
+    }
+
+    /// Bias + activation, in place.
+    fn finish_forward(&self, y: &mut Tensor) {
         y.add_bias(&self.b);
         for v in &mut y.data {
             *v = self.act.apply(*v);
         }
-        y
     }
 
     /// Backward pass: input gradient and parameter gradients.
@@ -143,6 +155,29 @@ impl Dense {
     /// recycled. The matmuls run transpose-free (`matmul_tn`/`matmul_nt`),
     /// eliminating the two explicit `transpose()` copies per call.
     pub fn backward(&self, x: &Tensor, y: &Tensor, dy: &mut Tensor) -> (Tensor, DenseGrads) {
+        let g = self.backward_params(x, y, dy);
+        let dx = dy.matmul_nt(&self.w);
+        (dx, g)
+    }
+
+    /// [`Dense::backward`] with the input gradient written into a
+    /// caller-provided buffer (recycled contents allowed — the `dx` kernel
+    /// stores, never accumulates). Bit-identical to `backward`.
+    pub fn backward_into(
+        &self,
+        x: &Tensor,
+        y: &Tensor,
+        dy: &mut Tensor,
+        dx: &mut Tensor,
+    ) -> DenseGrads {
+        let g = self.backward_params(x, y, dy);
+        dy.matmul_nt_into(&self.w, dx);
+        g
+    }
+
+    /// Shared head of the backward pass: turns `dy` into `dz` in place and
+    /// produces the parameter gradients.
+    fn backward_params(&self, x: &Tensor, y: &Tensor, dy: &mut Tensor) -> DenseGrads {
         assert_eq!(dy.rows, y.rows, "grad batch mismatch");
         assert_eq!(dy.cols, y.cols, "grad width mismatch");
         assert_eq!(x.rows, y.rows, "cache batch mismatch");
@@ -152,8 +187,7 @@ impl Dense {
         }
         let dw = x.matmul_tn(dy);
         let db = dy.col_sums();
-        let dx = dy.matmul_nt(&self.w);
-        (dx, DenseGrads { dw, db })
+        DenseGrads { dw, db }
     }
 
     /// SGD update: `p -= lr * g`.

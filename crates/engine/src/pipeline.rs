@@ -39,7 +39,7 @@ use dapple_sim::schedule::{stage_order, Step};
 use dapple_sim::Schedule;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Configuration of a pipeline training run.
@@ -159,6 +159,13 @@ pub struct PipelineTrainer {
     /// The master copy of the model (updated after every step).
     pub model: MlpModel,
     cfg: EngineConfig,
+    /// Per-worker boundary-buffer pools, one slot per stage replica in
+    /// spawn order. Owned here — not by the per-step workers — so the
+    /// free lists survive across steps: after the first step every
+    /// boundary take is a hit and steps allocate no boundary buffers at
+    /// all. (The old per-step pools re-paid the warmup misses on every
+    /// single step, which is why buffer reuse stopped being a win.)
+    pools: Vec<Mutex<TensorPool>>,
 }
 
 impl PipelineTrainer {
@@ -199,7 +206,11 @@ impl PipelineTrainer {
                 "recv_timeout must be positive".into(),
             ));
         }
-        Ok(PipelineTrainer { model, cfg })
+        let workers: usize = cfg.replication.iter().sum();
+        let pools = (0..workers)
+            .map(|_| Mutex::new(TensorPool::new(cfg.buffer_reuse)))
+            .collect();
+        Ok(PipelineTrainer { model, cfg, pools })
     }
 
     /// Config accessor.
@@ -359,7 +370,7 @@ impl PipelineTrainer {
                         faults: faults.for_worker(i, p),
                         nan_policy: self.cfg.nan_policy,
                         recv_timeout: self.cfg.recv_timeout,
-                        reuse: self.cfg.buffer_reuse,
+                        pool: &self.pools[handles.len()],
                         tracer,
                     };
                     handles.push(scope.spawn(move || {
@@ -599,8 +610,11 @@ struct Worker<'a> {
     faults: HashMap<usize, FaultKind>,
     nan_policy: NanPolicy,
     recv_timeout: Duration,
-    /// Whether boundary buffers circulate through the free-list pool.
-    reuse: bool,
+    /// This worker's persistent boundary-buffer pool slot (owned by the
+    /// trainer so free lists survive across steps). Each worker locks
+    /// only its own slot for the duration of the step — uncontended by
+    /// construction.
+    pool: &'a Mutex<TensorPool>,
     /// Span recorder; `None` keeps the hot path timestamp-free.
     tracer: Option<SpanWriter>,
 }
@@ -627,13 +641,23 @@ const POOL_CAP_PER_SHAPE: usize = 16;
 /// every take site must fully overwrite the buffer. With `enabled ==
 /// false`, every take allocates and every put drops — exactly the seed
 /// allocation-per-message semantics, kept selectable so the determinism
-/// suite can assert the two paths are bit-identical. In steady-state
-/// 1F1B the boundary traffic is shape-symmetric (forward activations and
-/// backward gradients cross each boundary with identical part shapes),
-/// so misses happen only during warmup.
+/// suite can assert the two paths are bit-identical.
+///
+/// The pool covers both the boundary messages and the compute path: the
+/// per-layer forward chain and the backward input-gradients draw from the
+/// same free lists (see [`forward_stage`]/[`backward_stage`]), and each
+/// backward retires its whole chain. In steady-state 1F1B the traffic is
+/// shape-symmetric micro-batch to micro-batch, so misses happen only
+/// during pipeline warmup — and because pools live on the
+/// [`PipelineTrainer`] (not the per-step workers), warmup is paid once
+/// per trainer, not once per step.
+///
+/// A worker sees only a handful of distinct shapes, so buckets live in
+/// a flat `Vec` scanned linearly — cheaper than hashing the shape key
+/// on every message, and lookups allocate nothing.
 struct TensorPool {
     enabled: bool,
-    free: HashMap<(usize, usize), Vec<Tensor>>,
+    free: Vec<((usize, usize), Vec<Tensor>)>,
     hits: usize,
     misses: usize,
 }
@@ -642,15 +666,32 @@ impl TensorPool {
     fn new(enabled: bool) -> Self {
         TensorPool {
             enabled,
-            free: HashMap::new(),
+            free: Vec::new(),
             hits: 0,
             misses: 0,
         }
     }
 
+    /// Resets the per-step hit/miss counters (the free lists persist).
+    fn begin_step(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Whether recycling is on. Callers that have a cheaper non-pooled
+    /// path (e.g. an allocating kernel that skips the zero-fill a recycled
+    /// buffer needs) branch on this instead of paying `take`'s miss.
+    fn reuses(&self) -> bool {
+        self.enabled
+    }
+
     /// A buffer of exactly `rows x cols`; contents are arbitrary.
     fn take(&mut self, rows: usize, cols: usize) -> Tensor {
-        if let Some(t) = self.free.get_mut(&(rows, cols)).and_then(Vec::pop) {
+        let bucket = self
+            .free
+            .iter_mut()
+            .find(|(shape, _)| *shape == (rows, cols));
+        if let Some(t) = bucket.and_then(|(_, list)| list.pop()) {
             self.hits += 1;
             t
         } else {
@@ -664,7 +705,14 @@ impl TensorPool {
         if !self.enabled {
             return;
         }
-        let slot = self.free.entry((t.rows, t.cols)).or_default();
+        let shape = (t.rows, t.cols);
+        let slot = match self.free.iter_mut().find(|(s, _)| *s == shape) {
+            Some((_, list)) => list,
+            None => {
+                self.free.push((shape, Vec::new()));
+                &mut self.free.last_mut().expect("just pushed").1
+            }
+        };
         if slot.len() < POOL_CAP_PER_SHAPE {
             slot.push(t);
         }
@@ -725,7 +773,15 @@ impl Worker<'_> {
         let mut loss = 0.0f32;
         let mut skipped = 0usize;
         let mut zeroed = 0usize;
-        let mut pool = TensorPool::new(self.reuse);
+        // A worker that panicked mid-step (injected faults) poisons its
+        // pool mutex; the pool's free lists are always structurally
+        // valid, so recovery just clears the poison and keeps going.
+        let mut pool_guard = self
+            .pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let pool = &mut *pool_guard;
+        pool.begin_step();
         let mut flights: HashMap<usize, Flight> = HashMap::new();
         let mut buf_f: HashMap<usize, Vec<Msg>> = HashMap::new();
         let mut buf_b: HashMap<usize, Vec<Msg>> = HashMap::new();
@@ -762,13 +818,13 @@ impl Worker<'_> {
                         copy_rows_into(self.x, lo..hi, &mut t);
                         t
                     } else {
-                        self.recv_rows(RxSide::Forward, &mut buf_f, u, idx, &mut pool)?
+                        self.recv_rows(RxSide::Forward, &mut buf_f, u, idx, pool)?
                     };
                     let t1 = self.now_ns();
                     if !self.is_first {
                         self.rec(SpanKind::CommRecvWait, u, tensor_bytes(&input), t0, t1);
                     }
-                    let mut ys = forward_stage(self.layers, &input);
+                    let mut ys = forward_stage(self.layers, &input, pool);
                     // The first stage folds its input-slice copy into the
                     // forward span; downstream stages start at receipt.
                     self.rec(
@@ -797,7 +853,7 @@ impl Worker<'_> {
                                 u,
                                 Payload::Give(bad),
                                 idx,
-                                &mut pool,
+                                pool,
                             )?;
                         } else if self.recompute {
                             // The chain is rebuilt at Bw, so the output
@@ -810,7 +866,7 @@ impl Worker<'_> {
                                 u,
                                 Payload::Give(out),
                                 idx,
-                                &mut pool,
+                                pool,
                             )?;
                         } else {
                             let out = ys.last().expect("non-empty stage");
@@ -821,7 +877,7 @@ impl Worker<'_> {
                                 u,
                                 Payload::Keep(out),
                                 idx,
-                                &mut pool,
+                                pool,
                             )?;
                         }
                         self.rec(SpanKind::CommSend, u, out_bytes, ts, self.now_ns());
@@ -841,7 +897,7 @@ impl Worker<'_> {
                         match flights.remove(&u).expect("forward before backward") {
                             Flight::Cached { input, ys } => (input, ys, false),
                             Flight::InputOnly(input) => {
-                                let ys = forward_stage(self.layers, &input);
+                                let ys = forward_stage(self.layers, &input, pool);
                                 (input, ys, true)
                             }
                         };
@@ -859,7 +915,7 @@ impl Worker<'_> {
                         micro_loss = l;
                         dy
                     } else {
-                        self.recv_rows(RxSide::Backward, &mut buf_b, u, idx, &mut pool)?
+                        self.recv_rows(RxSide::Backward, &mut buf_b, u, idx, pool)?
                     };
                     let tb = self.now_ns();
                     if !self.is_last {
@@ -871,7 +927,8 @@ impl Worker<'_> {
                     // This micro-batch's contribution stays separate so a
                     // poisoned one can be inspected — and skipped or
                     // repaired — before it contaminates the accumulator.
-                    let (dx, contrib, spent_gy) = backward_stage(self.layers, &input, &ys, dy);
+                    let (dx, contrib, spent_gy) =
+                        backward_stage(self.layers, &input, &ys, dy, pool);
                     // The last stage folds its loss computation into the
                     // backward span; upstream stages start at receipt.
                     self.rec(
@@ -882,11 +939,15 @@ impl Worker<'_> {
                         self.now_ns(),
                     );
                     // The boundary buffers this micro-batch arrived in are
-                    // spent now; recycling them is what stocks the pool
-                    // for the sends of later micro-batches (misses happen
-                    // only during warmup).
+                    // spent now, as is the whole forward chain; recycling
+                    // them is what stocks the pool for the sends and
+                    // forwards of later micro-batches (misses happen only
+                    // during warmup).
                     pool.put(spent_gy);
                     pool.put(input);
+                    for y in ys {
+                        pool.put(y);
+                    }
                     let bad = count_non_finite(&contrib) + usize::from(!micro_loss.is_finite());
                     if bad == 0 {
                         merge_contribution(&mut grads, &contrib);
@@ -926,7 +987,7 @@ impl Worker<'_> {
                             u,
                             Payload::Give(dx),
                             idx,
-                            &mut pool,
+                            pool,
                         )?;
                         self.rec(SpanKind::CommSend, u, dx_bytes, ts, self.now_ns());
                     } else {
@@ -1214,11 +1275,22 @@ enum RxSide {
 }
 
 /// Forward through a stage's layers; returns the per-layer output chain.
-fn forward_stage(layers: &[Dense], input: &Tensor) -> Vec<Tensor> {
+fn forward_stage(layers: &[Dense], input: &Tensor, pool: &mut TensorPool) -> Vec<Tensor> {
     let mut ys = Vec::with_capacity(layers.len());
     for (i, layer) in layers.iter().enumerate() {
         let x = if i == 0 { input } else { &ys[i - 1] };
-        ys.push(layer.forward(x));
+        // With reuse on, the per-layer outputs come from the pool (the
+        // backward pass retires the whole chain, so steady-state forwards
+        // allocate nothing); with reuse off this is exactly the seed
+        // allocate-per-tensor path.
+        let y = if pool.reuses() {
+            let mut y = pool.take(x.rows, layer.out_dim());
+            layer.forward_into(x, &mut y);
+            y
+        } else {
+            layer.forward(x)
+        };
+        ys.push(y);
     }
     ys
 }
@@ -1234,6 +1306,7 @@ fn backward_stage(
     input: &Tensor,
     ys: &[Tensor],
     gy: Tensor,
+    pool: &mut TensorPool,
 ) -> (Tensor, Vec<DenseGrads>, Tensor) {
     assert_eq!(ys.len(), layers.len(), "output chain length");
     let mut grads: Vec<Option<DenseGrads>> = (0..layers.len()).map(|_| None).collect();
@@ -1241,11 +1314,25 @@ fn backward_stage(
     let mut cur = gy;
     for i in (0..layers.len()).rev() {
         let x = if i == 0 { input } else { &ys[i - 1] };
-        let (dx, g) = layers[i].backward(x, &ys[i], &mut cur);
+        // With reuse on, `dx` comes from the pool without zeroing (the
+        // kernel overwrites every element); with reuse off this is
+        // exactly the seed allocate-per-tensor path.
+        let (dx, g) = if pool.reuses() {
+            let mut dx = pool.take(cur.rows, layers[i].in_dim());
+            let g = layers[i].backward_into(x, &ys[i], &mut cur, &mut dx);
+            (dx, g)
+        } else {
+            layers[i].backward(x, &ys[i], &mut cur)
+        };
         grads[i] = Some(g);
         let used = std::mem::replace(&mut cur, dx);
         if spent.is_none() {
+            // The buffer `gy` arrived in: handed back to the caller, whose
+            // boundary sends have exactly this shape.
             spent = Some(used);
+        } else {
+            // Intermediate upstream gradients are spent scratch.
+            pool.put(used);
         }
     }
     let grads = grads.into_iter().map(|g| g.expect("all layers")).collect();

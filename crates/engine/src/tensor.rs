@@ -56,11 +56,41 @@ impl Tensor {
     /// mask poisoned activations from the engine's NaN detection.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.rows, "matmul inner dims");
-        let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        let (n, m) = (self.rows, rhs.cols);
         let mut out = vec![0.0f32; n * m];
+        self.matmul_store(rhs, &mut out);
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// [`Tensor::matmul`] into a caller-provided buffer. The kernel
+    /// overwrites every element, so recycled contents need no zeroing —
+    /// a pooled buffer skips both the allocation and the memset.
+    /// Bit-identical to `matmul`.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dims");
+        assert_eq!(out.rows, self.rows, "matmul_into out rows");
+        assert_eq!(out.cols, rhs.cols, "matmul_into out cols");
+        self.matmul_store(rhs, &mut out.data);
+    }
+
+    /// Kernel shared by `matmul`/`matmul_into`. The `k = 0` pass stores
+    /// (spelled `0.0 + a * b` so the bits match a zero-initialised
+    /// accumulation even at `-0.0` — LLVM must not fold a `0.0 +` away
+    /// without fast-math) and later passes accumulate, so `out`'s prior
+    /// contents never matter.
+    fn matmul_store(&self, rhs: &Tensor, out: &mut [f32]) {
+        let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        if k == 0 {
+            out.fill(0.0);
+            return;
+        }
         let body = |(r, out_row): (usize, &mut [f32])| {
             let a_row = &self.data[r * k..(r + 1) * k];
-            for (i, &a) in a_row.iter().enumerate() {
+            let a0 = a_row[0];
+            for (o, &b) in out_row.iter_mut().zip(&rhs.data[..m]) {
+                *o = 0.0 + a0 * b;
+            }
+            for (i, &a) in a_row.iter().enumerate().skip(1) {
                 let b_row = &rhs.data[i * m..(i + 1) * m];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -72,7 +102,6 @@ impl Tensor {
         } else {
             out.chunks_mut(m).enumerate().for_each(body);
         }
-        Tensor::from_vec(n, m, out)
     }
 
     /// Transpose-free product `self^T (k x n) * rhs (k x m) -> (n x m)`.
@@ -116,8 +145,26 @@ impl Tensor {
     /// tensor` tracks how this trades against the transposing baseline.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.cols, "matmul_nt inner dims");
-        let (n, k, m) = (self.rows, self.cols, rhs.rows);
+        let (n, m) = (self.rows, rhs.rows);
         let mut out = vec![0.0f32; n * m];
+        self.matmul_nt_store(rhs, &mut out);
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// [`Tensor::matmul_nt`] into a caller-provided buffer. The kernel
+    /// stores (never accumulates), so recycled contents need no zeroing —
+    /// a pooled buffer skips both the allocation and the memset.
+    pub fn matmul_nt_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt inner dims");
+        assert_eq!(out.rows, self.rows, "matmul_nt_into out rows");
+        assert_eq!(out.cols, rhs.rows, "matmul_nt_into out cols");
+        self.matmul_nt_store(rhs, &mut out.data);
+    }
+
+    /// Store kernel shared by `matmul_nt`/`matmul_nt_into`; every element
+    /// of `out` is overwritten.
+    fn matmul_nt_store(&self, rhs: &Tensor, out: &mut [f32]) {
+        let (n, k, m) = (self.rows, self.cols, rhs.rows);
         let body = |(r, out_row): (usize, &mut [f32])| {
             let a_row = &self.data[r * k..(r + 1) * k];
             // Four output columns per pass: each element keeps its own
@@ -158,7 +205,6 @@ impl Tensor {
         } else {
             out.chunks_mut(m).enumerate().for_each(body);
         }
-        Tensor::from_vec(n, m, out)
     }
 
     /// Transposed copy.

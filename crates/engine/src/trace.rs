@@ -373,11 +373,16 @@ impl StepTrace {
             m.busy_fraction = (m.busy_ns as f64 / denom).min(1.0);
             m.bubble_ratio = 1.0 - m.busy_fraction;
         }
-        let bubble_ratio = if stages.is_empty() {
-            1.0
-        } else {
-            stages.iter().map(|m| m.bubble_ratio).sum::<f64>() / stages.len() as f64
-        };
+        // Aggregate bubble via the shared definition in `dapple_core::phase`
+        // (mean per-stage idle share, per-replica busy time, occupancy
+        // capped at 1) — the simulator's `SimResult::bubble_ratio` uses the
+        // same helper, which is what makes predicted-vs-measured bubble
+        // comparisons meaningful.
+        let busy_us: Vec<f64> = stages
+            .iter()
+            .map(|m| m.busy_ns as f64 / 1e3 / m.replicas.max(1) as f64)
+            .collect();
+        let bubble_ratio = dapple_core::phase::bubble_ratio(&busy_us, makespan_ns as f64 / 1e3);
         StepMetrics {
             makespan_ns,
             bubble_ratio,
@@ -507,6 +512,22 @@ mod tests {
         assert_eq!(m.stages[1].busy_ns, 180);
         assert!((m.stages[0].busy_fraction - 0.6).abs() < 1e-12);
         assert!((m.bubble_ratio - (0.4 + 1.0 - 0.36) / 2.0).abs() < 1e-12);
+    }
+
+    /// The aggregate bubble ratio is exactly the shared
+    /// `dapple_core::phase::bubble_ratio` over per-replica busy times — the
+    /// same definition the simulator reports, so the validation table's
+    /// predicted and measured bubbles are comparable by construction.
+    #[test]
+    fn bubble_ratio_matches_shared_core_definition() {
+        let m = trace_fixture().metrics();
+        let busy_us: Vec<f64> = m
+            .stages
+            .iter()
+            .map(|s| s.busy_ns as f64 / 1e3 / s.replicas.max(1) as f64)
+            .collect();
+        let shared = dapple_core::phase::bubble_ratio(&busy_us, m.makespan_ns as f64 / 1e3);
+        assert_eq!(m.bubble_ratio, shared);
     }
 
     #[test]

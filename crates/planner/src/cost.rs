@@ -2,7 +2,7 @@
 
 use crate::latency::{pipeline_latency, LatencyBreakdown, StageLatency};
 use dapple_cluster::Cluster;
-use dapple_collectives::{allreduce_us, cross_stage_us};
+use dapple_collectives::{allreduce_us, cross_stage_us, CommCalibration};
 use dapple_core::{Bytes, Result, StagePlan};
 use dapple_profiler::{MemoryModel, ModelProfile};
 
@@ -51,6 +51,9 @@ pub struct CostModel<'a> {
     prefix_fw: Vec<f64>,
     prefix_bw: Vec<f64>,
     prefix_params: Vec<u64>,
+    /// Measured communication corrections (see [`CommCalibration`]);
+    /// `None` keeps the pure analytic model.
+    calibration: Option<CommCalibration>,
 }
 
 impl<'a> CostModel<'a> {
@@ -81,7 +84,23 @@ impl<'a> CostModel<'a> {
             prefix_fw,
             prefix_bw,
             prefix_params,
+            calibration: None,
         }
+    }
+
+    /// Substitutes measured communication corrections for the analytic
+    /// cross-stage and AllReduce formulas (compute corrections travel in
+    /// the profile itself — calibrate the profile, then build the model
+    /// over it). Everything downstream — `evaluate`, the planner search,
+    /// the simulator — inherits the calibrated costs.
+    pub fn with_calibration(mut self, cal: CommCalibration) -> Self {
+        self.calibration = Some(cal);
+        self
+    }
+
+    /// The active communication calibration, if any.
+    pub fn calibration(&self) -> Option<&CommCalibration> {
+        self.calibration.as_ref()
     }
 
     /// Forward time of a layer range at `samples` samples incl. launch
@@ -125,11 +144,18 @@ impl<'a> CostModel<'a> {
         let mut out = Vec::with_capacity(stages.len() * 2);
         for (i, st) in stages.iter().enumerate() {
             let slice = mb / st.replication() as f64;
-            let ar = allreduce_us(
-                self.param_bytes(st.layers.clone()),
-                &st.devices,
-                self.cluster,
-            );
+            let param_bytes = self.param_bytes(st.layers.clone());
+            let ar = self
+                .calibration
+                .as_ref()
+                .and_then(|c| {
+                    c.allreduce_us(
+                        (st.layers.start, st.layers.end),
+                        param_bytes,
+                        st.replication(),
+                    )
+                })
+                .unwrap_or_else(|| allreduce_us(param_bytes, &st.devices, self.cluster));
             out.push(StageLatency {
                 fw_us: self.fw_us(st.layers.clone(), slice),
                 bw_us: self.bw_us(st.layers.clone(), slice),
@@ -137,8 +163,25 @@ impl<'a> CostModel<'a> {
             });
             if i + 1 < stages.len() {
                 let bytes = self.profile.boundary_act(st.layers.end, mb);
-                let t = cross_stage_us(bytes, &st.devices, &stages[i + 1].devices, self.cluster);
-                out.push(StageLatency::comm(t, t));
+                let next = &stages[i + 1].devices;
+                // Elementwise-equal device sets transfer nothing in reality
+                // either — never substitute a measured channel cost there.
+                let same_devices = st.devices.len() == next.len()
+                    && st.devices.iter().zip(next).all(|(a, b)| a == b);
+                let (tf, tb) = if same_devices {
+                    (0.0, 0.0)
+                } else {
+                    let measured = |backward| {
+                        self.calibration
+                            .as_ref()
+                            .and_then(|c| c.cross_stage_us(st.layers.end, bytes, backward))
+                            .unwrap_or_else(|| {
+                                cross_stage_us(bytes, &st.devices, next, self.cluster)
+                            })
+                    };
+                    (measured(false), measured(true))
+                };
+                out.push(StageLatency::comm(tf, tb));
             }
         }
         out
@@ -343,6 +386,46 @@ mod tests {
         // Single-stage plans have no cross-stage communication.
         let dp = vec![StagePlan::new(0..8, devs(0..2))];
         assert_eq!(cm_b.acr(&dp, 8), 0.0);
+    }
+
+    /// Calibration substitutes measured comm/AllReduce numbers while the
+    /// uncalibrated model stays bit-identical to the analytic formulas.
+    #[test]
+    fn calibration_overrides_comm_and_allreduce() {
+        let cluster = Cluster::config_a(2);
+        let (p, mm) = setup(&cluster);
+        let plain = CostModel::new(&p, &cluster, mm, 64);
+        let hybrid = vec![
+            StagePlan::new(0..4, devs(0..8)),
+            StagePlan::new(4..8, devs(8..16)),
+        ];
+        let analytic = plain.stage_latencies(&hybrid, 8);
+
+        let mut cal = CommCalibration::default();
+        cal.cross_fw_override_us.insert(4, 123.0); // cut layer of stage 0
+        cal.cross_bw_override_us.insert(4, 456.0);
+        cal.ar_override_us.insert((0, 4), 77.0);
+        let calibrated = CostModel::new(&p, &cluster, mm, 64).with_calibration(cal);
+        let lat = calibrated.stage_latencies(&hybrid, 8);
+        assert_eq!(lat[1].fw_us, 123.0);
+        assert_eq!(lat[1].bw_us, 456.0);
+        assert_eq!(lat[0].allreduce_us, 77.0);
+        // Unmeasured pieces keep the analytic values.
+        assert_eq!(lat[0].fw_us, analytic[0].fw_us);
+        assert_eq!(lat[2].allreduce_us, analytic[2].allreduce_us);
+
+        // Same-device consecutive stages stay free even when calibrated.
+        let cal2 = CommCalibration {
+            cross_observed: true,
+            cross_alpha_us: 50.0,
+            ..Default::default()
+        };
+        let shared = vec![
+            StagePlan::new(0..4, devs(0..8)),
+            StagePlan::new(4..8, devs(0..8)),
+        ];
+        let cm2 = CostModel::new(&p, &cluster, mm, 64).with_calibration(cal2);
+        assert_eq!(cm2.stage_latencies(&shared, 8)[1].fw_us, 0.0);
     }
 
     #[test]

@@ -136,6 +136,15 @@ impl<'a> DapplePlanner<'a> {
         }
     }
 
+    /// Plans from a measured profile with communication calibration: the
+    /// search ranks every candidate by measured/fitted costs instead of
+    /// the analytic formulas. Pass a `Calibrator`-corrected profile to
+    /// `new` and chain this for the comm side.
+    pub fn with_calibration(mut self, cal: dapple_collectives::CommCalibration) -> Self {
+        self.cost = self.cost.with_calibration(cal);
+        self
+    }
+
     /// Access to the underlying cost model (for reports and tests).
     pub fn cost_model(&self) -> &CostModel<'a> {
         &self.cost

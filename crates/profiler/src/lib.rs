@@ -15,8 +15,10 @@
 //! (AmoebaNet's infeasible DP plan, Table II) and the weak-scaling study
 //! (Table VIII).
 
+pub mod calibrate;
 pub mod memory;
 pub mod profile;
 
+pub use calibrate::{Calibration, Calibrator, ObservedSpan};
 pub use memory::MemoryModel;
 pub use profile::{LayerProfile, ModelProfile};

@@ -85,9 +85,14 @@ impl SimResult {
         mean_busy / self.makespan_us
     }
 
-    /// Bubble fraction: `1 - utilization()`.
+    /// Bubble fraction over the shared [`dapple_core::phase::bubble_ratio`]
+    /// definition (mean per-stage idle share) — the same formula the
+    /// engine's measured `StepMetrics::bubble_ratio` uses, so predicted and
+    /// measured bubbles are comparable by construction. Equals
+    /// `1 - utilization()` whenever no stage exceeds the makespan (always
+    /// true for simulated timelines).
     pub fn bubble_ratio(&self) -> f64 {
-        1.0 - self.utilization()
+        dapple_core::phase::bubble_ratio(&self.busy_us, self.makespan_us)
     }
 
     /// Warmup/steady/tail split of the simulated timeline (µs), on the
@@ -103,6 +108,49 @@ impl SimResult {
             };
             (tag, t.start_us, t.end_us)
         }))
+    }
+
+    /// Lowers the simulated task list into the profiler's
+    /// [`ObservedSpan`](dapple_profiler::ObservedSpan) vocabulary, so a
+    /// `Calibrator` can consume a simulated timeline exactly like a
+    /// measured one. `replication[s]` is stage `s`'s replica count (the
+    /// task records don't carry it). This is what the calibration
+    /// round-trip guarantee is tested against: calibrating from the sim's
+    /// own trace and re-predicting must reproduce the sim's makespan.
+    pub fn observed_spans(&self, replication: &[usize]) -> Vec<dapple_profiler::ObservedSpan> {
+        use dapple_profiler::ObservedSpan as O;
+        self.tasks
+            .iter()
+            .map(|t| {
+                let dur_us = t.end_us - t.start_us;
+                match t.kind {
+                    TaskKind::Fw => O::Fw {
+                        stage: t.stage,
+                        dur_us,
+                    },
+                    TaskKind::Bw => O::Bw {
+                        stage: t.stage,
+                        dur_us,
+                    },
+                    TaskKind::CommF => O::CommF {
+                        boundary: t.stage,
+                        bytes: t.bytes,
+                        dur_us,
+                    },
+                    TaskKind::CommB => O::CommB {
+                        boundary: t.stage,
+                        bytes: t.bytes,
+                        dur_us,
+                    },
+                    TaskKind::AllReduce => O::AllReduce {
+                        stage: t.stage,
+                        bytes: t.bytes,
+                        replicas: replication.get(t.stage).copied().unwrap_or(1),
+                        dur_us,
+                    },
+                }
+            })
+            .collect()
     }
 
     /// Largest per-stage peak memory.

@@ -8,9 +8,10 @@
 //!
 //! The pipeline engine is measured through its own allocation-counter
 //! hook (`StepOutcome::pool_misses`): with buffer reuse on, boundary
-//! buffers circulate through per-worker free lists, so fresh allocations
-//! happen only during pipeline warmup and their count is independent of
-//! the number of micro-batches.
+//! messages, the per-layer forward chain, and the backward input
+//! gradients all circulate through per-trainer free lists, so fresh
+//! allocations happen only during pipeline warmup and their count is
+//! independent of the number of micro-batches.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
