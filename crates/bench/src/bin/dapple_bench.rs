@@ -6,7 +6,10 @@
 //! ```text
 //! cargo run --release -p dapple-bench --bin dapple-bench -- \
 //!     [--smoke] [--out PATH] [--trace PATH] [--recovery-log PATH] \
-//!     [--gate-err-steady THRESHOLD]
+//!     [--gate-err-steady THRESHOLD] [--commit SHA] [--timestamp ISO]
+//! cargo run --release -p dapple-bench --bin dapple-bench -- \
+//!     diff <old.json> <new.json> [--threshold REL] [--overhead-pts PTS] \
+//!     [--md PATH] [--json PATH]
 //! ```
 //!
 //! Writes a hand-rolled JSON report (default `BENCH_5.json`): one record
@@ -26,9 +29,15 @@
 //! Trace Event file; `--recovery-log PATH` dumps the supervisor's
 //! recovery-event log as JSON. `--gate-err-steady T` exits non-zero when
 //! the calibrated steady-phase error exceeds `T` (the CI regression
-//! gate). `--smoke` shrinks every shape so the whole run finishes in a
-//! couple of seconds — that mode exists for CI, not for comparing
-//! numbers.
+//! gate). `--commit`/`--timestamp` stamp the report with a provenance
+//! header (plus the host triple) so `diff` can label its endpoints.
+//! `--smoke` shrinks every shape so the whole run finishes in a couple of
+//! seconds — that mode exists for CI, not for comparing numbers.
+//!
+//! The `diff` subcommand is the performance barometer
+//! ([`dapple_bench::diff`]): it compares two reports series-by-series
+//! under noise-aware thresholds, prints a markdown table, and exits
+//! non-zero when a hot-path group regresses.
 
 use dapple_bench::validate::{
     calibrate_validation, replan_from_measured, Scenario, MAX_CALIBRATION_ROUNDS, MEASURE_ITERS,
@@ -230,34 +239,62 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// Step-tracing overhead: the same pipeline step timed with the tracing
-/// knob off and on. The acceptance bar is <1% — but timer noise at smoke
-/// sizes dwarfs that, so the number is recorded, not asserted.
-fn tracing_overhead_benches(smoke: bool, out: &mut Vec<Record>, trace_path: Option<&str>) {
-    let (dims, batch, iters): (Vec<usize>, usize, u32) = if smoke {
-        (vec![5, 12, 10, 8, 8, 4, 3], 24, 5)
-    } else {
-        (vec![64, 256, 256, 256, 256, 128, 32], 128, 20)
-    };
+/// Step-tracing overhead for one model shape: the same pipeline step
+/// timed with the tracing knob off and on.
+///
+/// Both trainers are built up front and timed in *alternating*
+/// min-best-of-3 rounds, the same discipline `engine_benches` adopted
+/// after BENCH_4: overhead is a ratio of two ~20 ms timings, so a few
+/// percent of slow drift between a tracing_off block and a tracing_on
+/// block shows up multiplied — which is exactly how BENCH_5 recorded
+/// 16.2% on a path whose real cost is ~100 clock reads per step
+/// (BENCH_3/4 sat at 1.4–2.3%). The minimum across rounds estimates
+/// each config's intrinsic cost because host noise is strictly additive.
+fn tracing_overhead_shape(
+    shape_label: &str,
+    dims: &[usize],
+    batch: usize,
+    rounds: u32,
+    out: &mut Vec<Record>,
+    trace_path: Option<&str>,
+) {
     let (x, t) = data::regression_batch(batch, dims[0], *dims.last().unwrap(), 11);
     let plan = FaultPlan::new();
-    let mut ns_off = 0.0;
-    for (label, tracing) in [("tracing_off", false), ("tracing_on", true)] {
+    let configs = [("tracing_off", false), ("tracing_on", true)];
+    let mut trainers = Vec::new();
+    for &(_, tracing) in &configs {
         let mut cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
         cfg.tracing = tracing;
-        let trainer = PipelineTrainer::new(MlpModel::new(&dims, 3), cfg).unwrap();
-        let outcome = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
-        let ns = time_ns(iters, || {
-            let out = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
-            black_box(out.loss);
-        });
-        let mut extra = Vec::new();
+        let trainer = PipelineTrainer::new(MlpModel::new(dims, 3), cfg).unwrap();
+        // Warmup fills the persistent buffer pools and faults in code.
+        trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+        trainers.push(trainer);
+    }
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..rounds {
+        for (i, trainer) in trainers.iter().enumerate() {
+            let round_best = (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let out = trainer.step_grads_with_faults(&x, &t, &plan).unwrap();
+                    black_box(out.loss);
+                    t0.elapsed().as_nanos() as f64
+                })
+                .fold(f64::INFINITY, f64::min);
+            best[i] = best[i].min(round_best);
+        }
+    }
+    // One extra traced step for the trace-derived extras (and `--trace`
+    // export) — outside the timed region.
+    let outcome = trainers[1].step_grads_with_faults(&x, &t, &plan).unwrap();
+    let trace = outcome.trace.as_ref().expect("tracing enabled");
+    for (i, &(label, tracing)) in configs.iter().enumerate() {
+        let mut extra = vec![("method", "\"interleaved_min_best_of_3\"".to_string())];
         if tracing {
             extra.push((
                 "overhead_pct",
-                json_f64((ns - ns_off) / ns_off.max(1.0) * 100.0),
+                json_f64((best[1] - best[0]) / best[0].max(1.0) * 100.0),
             ));
-            let trace = outcome.trace.as_ref().expect("tracing enabled");
             let m = trace.metrics();
             extra.push(("measured_bubble_ratio", json_f64(m.bubble_ratio)));
             extra.push((
@@ -279,17 +316,51 @@ fn tracing_overhead_benches(smoke: bool, out: &mut Vec<Record>, trace_path: Opti
                 });
                 eprintln!("[dapple-bench] wrote chrome trace to {path}");
             }
-        } else {
-            ns_off = ns;
         }
         out.push(Record {
             group: "trace_overhead",
-            name: format!("straight3_m4_{label}"),
-            iters,
-            ns_per_iter: ns,
+            name: format!("{shape_label}_{label}"),
+            iters: rounds * 3,
+            ns_per_iter: best[i],
             extra,
         });
     }
+}
+
+/// Step-tracing overhead across the shapes the barometer tracks: the
+/// wide shape BENCH_3..5 recorded (`straight3_m4`, where the 16.2%
+/// methodology artifact appeared) and the narrow-layer/large-batch shape
+/// the pipeline_step bench moved to in PR 5, where per-step compute is
+/// small relative to orchestration and tracing cost is proportionally at
+/// its worst.
+fn tracing_overhead_benches(smoke: bool, out: &mut Vec<Record>, trace_path: Option<&str>) {
+    if smoke {
+        tracing_overhead_shape(
+            "straight3_m4",
+            &[5, 12, 10, 8, 8, 4, 3],
+            24,
+            2,
+            out,
+            trace_path,
+        );
+        return;
+    }
+    tracing_overhead_shape(
+        "straight3_m4",
+        &[64, 256, 256, 256, 256, 128, 32],
+        128,
+        7,
+        out,
+        trace_path,
+    );
+    tracing_overhead_shape(
+        "narrow3_m4",
+        &[32, 64, 64, 64, 64, 64, 32],
+        1024,
+        7,
+        out,
+        None,
+    );
 }
 
 /// Recovery costs: checkpoint save/load latency, the supervisor's
@@ -493,11 +564,37 @@ fn replan_benches(smoke: bool, out: &mut Vec<Record>) {
     });
 }
 
-fn render_json(mode: &str, records: &[Record]) -> String {
+/// Provenance stamped into the report header so `dapple-bench diff` can
+/// label its endpoints. Commit and timestamp come from the CLI (the
+/// binary has no git or clock-formatting dependency); the host triple is
+/// compiled in.
+struct Provenance {
+    commit: Option<String>,
+    timestamp: Option<String>,
+}
+
+impl Provenance {
+    fn host() -> String {
+        format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS)
+    }
+}
+
+fn render_json(mode: &str, provenance: &Provenance, records: &[Record]) -> String {
+    let opt = |v: &Option<String>| match v {
+        Some(s) => format!("\"{s}\""),
+        None => "null".to_string(),
+    };
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"schema\": \"dapple-bench/1\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(
+        s,
+        "  \"provenance\": {{\"commit\": {}, \"timestamp\": {}, \"host\": \"{}\"}},",
+        opt(&provenance.commit),
+        opt(&provenance.timestamp),
+        Provenance::host()
+    );
     s.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
@@ -516,11 +613,18 @@ fn render_json(mode: &str, records: &[Record]) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        std::process::exit(dapple_bench::diff::run_diff_cli(&args[1..]));
+    }
     let mut smoke = false;
     let mut out_path = "BENCH_5.json".to_string();
     let mut trace_path: Option<String> = None;
     let mut recovery_log: Option<String> = None;
     let mut gate_err_steady: Option<f64> = None;
+    let mut provenance = Provenance {
+        commit: None,
+        timestamp: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -564,10 +668,33 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--commit" => {
+                provenance.commit = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--commit needs a value");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            "--timestamp" => {
+                provenance.timestamp = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--timestamp needs a value");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
             _ => {
                 eprintln!(
                     "usage: dapple-bench [--smoke] [--out PATH] [--trace PATH] \
-                     [--recovery-log PATH] [--gate-err-steady THRESHOLD]"
+                     [--recovery-log PATH] [--gate-err-steady THRESHOLD] \
+                     [--commit SHA] [--timestamp ISO]\n\
+                     or:    dapple-bench diff <old.json> <new.json> [--threshold REL] \
+                     [--overhead-pts PTS] [--md PATH] [--json PATH]"
                 );
                 std::process::exit(2);
             }
@@ -591,7 +718,7 @@ fn main() {
     eprintln!("[dapple-bench] replan from measured profile ({mode})...");
     replan_benches(smoke, &mut records);
 
-    let json = render_json(mode, &records);
+    let json = render_json(mode, &provenance, &records);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);

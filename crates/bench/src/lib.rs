@@ -18,6 +18,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod diff;
 pub mod figures;
 pub mod tables;
 pub mod validate;

@@ -16,11 +16,14 @@
 //! * the shared Chrome Trace Event writer ([`chrome`]) and the
 //!   warmup/steady/tail phase decomposition ([`phase`]) used by both the
 //!   simulated and the measured timelines;
+//! * the zero-steady-state-allocation run-metrics registry and JSONL
+//!   [`metrics::RunLog`] the engine feeds each training step;
 //! * the workspace-wide error type [`DappleError`].
 
 pub mod chrome;
 pub mod error;
 pub mod ids;
+pub mod metrics;
 pub mod phase;
 pub mod plan;
 pub mod quantity;
@@ -28,6 +31,9 @@ pub mod quantity;
 pub use chrome::{chrome_trace_json, ChromeArg, ChromeEvent};
 pub use error::{DappleError, Result};
 pub use ids::{DeviceId, LayerId, MachineId, StageId};
+pub use metrics::{
+    straggler_stages, CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry, RunLog,
+};
 pub use phase::{bubble_ratio, relative_error, PhaseSplit, PhaseTag};
 pub use plan::{Plan, PlanKind, StagePlan};
 pub use quantity::{Bytes, TimeUs};

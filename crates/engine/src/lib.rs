@@ -29,6 +29,7 @@ pub mod model;
 pub mod optim;
 pub mod pipeline;
 pub mod recovery;
+pub mod runlog;
 pub mod tensor;
 pub mod trace;
 
@@ -43,6 +44,7 @@ pub use recovery::{
     DataStream, FaultClass, RecoveryEvent, RecoveryEventKind, RecoveryMetrics, RetryPolicy,
     Supervisor, TrainLoop,
 };
+pub use runlog::RunRecorder;
 pub use tensor::Tensor;
 pub use trace::{
     RecoveryStepMetrics, Span, SpanKind, SpanRing, SpanWriter, StageMetrics, StepMetrics,

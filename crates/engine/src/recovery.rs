@@ -42,6 +42,7 @@ use crate::fault::FaultPlan;
 use crate::model::{MlpModel, StepStats};
 use crate::optim::Optimizer;
 use crate::pipeline::{EngineConfig, PipelineTrainer};
+use crate::runlog::RunRecorder;
 use crate::tensor::Tensor;
 use crate::trace::{RecoveryStepMetrics, StepMetrics, StepTrace};
 use dapple_core::{DappleError, Result};
@@ -149,6 +150,12 @@ pub struct TrainLoop {
     last_rollback_ns: u64,
     /// Trace of the most recent *successful* step (tracing on only).
     last_trace: Option<StepTrace>,
+    /// Optional per-step telemetry sink ([`crate::runlog`]).
+    recorder: Option<RunRecorder>,
+    /// Recovery costs accumulated since the last *successful* step —
+    /// rollbacks from failed attempts plus checkpoint save/load time
+    /// charged by the supervisor. Drained into the next recorded step.
+    pending_recovery: RecoveryStepMetrics,
 }
 
 impl TrainLoop {
@@ -183,6 +190,8 @@ impl TrainLoop {
             tx: None,
             last_rollback_ns: 0,
             last_trace: None,
+            recorder: None,
+            pending_recovery: RecoveryStepMetrics::default(),
         })
     }
 
@@ -251,6 +260,32 @@ impl TrainLoop {
         self.last_trace.as_ref()
     }
 
+    /// Attaches a telemetry recorder: every subsequent successful step
+    /// is timed and appended to the recorder's JSONL run log (plus the
+    /// trace-derived schedule metrics when tracing is on). Replaces any
+    /// recorder already attached.
+    pub fn attach_recorder(&mut self, recorder: RunRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&RunRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detaches and returns the recorder (for end-of-run summaries).
+    pub fn take_recorder(&mut self) -> Option<RunRecorder> {
+        self.recorder.take()
+    }
+
+    /// Charges checkpoint serialization/deserialization time to the next
+    /// recorded step (called by the supervisor, which owns checkpoint
+    /// policy; the loop itself never checkpoints spontaneously).
+    pub fn charge_checkpoint_ns(&mut self, save_ns: u64, load_ns: u64) {
+        self.pending_recovery.checkpoint_save_ns += save_ns;
+        self.pending_recovery.checkpoint_load_ns += load_ns;
+    }
+
     /// The full training state (cloned), ready for serialization.
     pub fn state(&self) -> TrainState {
         TrainState {
@@ -290,6 +325,7 @@ impl TrainLoop {
                 cursor: self.data.cursor,
             },
         );
+        let wall_t0 = self.recorder.as_ref().map(|_| Instant::now());
         let (x, t) = self.data.next_batch();
         let (result, trace) = self.trainer.step_with_trace(&x, &t, faults);
         match result {
@@ -297,6 +333,21 @@ impl TrainLoop {
                 self.optimizer.step(&mut self.trainer.model, &out.grads);
                 self.step += 1;
                 self.last_trace = trace;
+                if let Some(rec) = self.recorder.as_mut() {
+                    let wall_ns = wall_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+                    let recovery = std::mem::take(&mut self.pending_recovery);
+                    let metrics = self.last_trace.as_ref().map(StepTrace::metrics);
+                    rec.record_step(
+                        self.step,
+                        out.loss,
+                        x.rows,
+                        wall_ns,
+                        out.pool_hits as u64,
+                        out.pool_misses as u64,
+                        &recovery,
+                        metrics.as_ref(),
+                    );
+                }
                 Ok(StepStats {
                     loss: out.loss,
                     samples: x.rows,
@@ -306,6 +357,8 @@ impl TrainLoop {
                 let t0 = Instant::now();
                 self.rollback();
                 self.last_rollback_ns = t0.elapsed().as_nanos() as u64;
+                self.pending_recovery.retries += 1;
+                self.pending_recovery.rollback_ns += self.last_rollback_ns;
                 Err(e)
             }
         }
@@ -637,7 +690,14 @@ impl Supervisor {
         let restored = TrainLoop::resume_bytes(&bytes, cfg)?;
         let ns = t0.elapsed().as_nanos() as u64;
         let step = restored.step();
+        // The recorder (and its open run log) survives the restore: it
+        // belongs to the run, not to the training state.
+        let recorder = self.train.take_recorder();
         self.train = restored;
+        if let Some(rec) = recorder {
+            self.train.attach_recorder(rec);
+        }
+        self.train.charge_checkpoint_ns(0, ns);
         self.last_step_recovery.checkpoint_load_ns += ns;
         self.events.push(RecoveryEvent {
             step,
@@ -751,6 +811,7 @@ impl Supervisor {
         let t0 = Instant::now();
         let bytes = self.train.save_bytes();
         let ns = t0.elapsed().as_nanos() as u64;
+        self.train.charge_checkpoint_ns(ns, 0);
         self.last_step_recovery.checkpoint_save_ns += ns;
         self.events.push(RecoveryEvent {
             step: self.train.step(),

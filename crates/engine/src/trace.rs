@@ -371,6 +371,14 @@ impl StepTrace {
         for m in &mut stages {
             let denom = makespan_ns.max(1) as f64 * m.replicas.max(1) as f64;
             m.busy_fraction = (m.busy_ns as f64 / denom).min(1.0);
+            // A stage with no recorded spans (a faulted partial trace
+            // drains whatever the dead worker managed to write, possibly
+            // nothing) must still report finite occupancy: it was idle,
+            // not NaN. The `.max(1)` denominators above make this
+            // unreachable today; the clamp keeps the invariant local.
+            if !m.busy_fraction.is_finite() {
+                m.busy_fraction = 0.0;
+            }
             m.bubble_ratio = 1.0 - m.busy_fraction;
         }
         // Aggregate bubble via the shared definition in `dapple_core::phase`
@@ -382,7 +390,10 @@ impl StepTrace {
             .iter()
             .map(|m| m.busy_ns as f64 / 1e3 / m.replicas.max(1) as f64)
             .collect();
-        let bubble_ratio = dapple_core::phase::bubble_ratio(&busy_us, makespan_ns as f64 / 1e3);
+        let mut bubble_ratio = dapple_core::phase::bubble_ratio(&busy_us, makespan_ns as f64 / 1e3);
+        if !bubble_ratio.is_finite() {
+            bubble_ratio = 1.0;
+        }
         StepMetrics {
             makespan_ns,
             bubble_ratio,
@@ -428,6 +439,18 @@ pub struct StepMetrics {
     /// Recovery costs attributed to this step by the supervisor
     /// (`engine::recovery`); all-zero when the step never faulted.
     pub recovery: RecoveryStepMetrics,
+}
+
+impl StepMetrics {
+    /// Total time blocked on boundary receives, summed over stages, ns.
+    pub fn channel_wait_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.comm_wait_ns).sum()
+    }
+
+    /// Total compute time, summed over stages, ns.
+    pub fn busy_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.busy_ns).sum()
+    }
 }
 
 /// Recovery costs the supervisor charged to one training step. Filled by
@@ -528,6 +551,51 @@ mod tests {
             .collect();
         let shared = dapple_core::phase::bubble_ratio(&busy_us, m.makespan_ns as f64 / 1e3);
         assert_eq!(m.bubble_ratio, shared);
+    }
+
+    /// Regression guard for faulted partial traces: stages that recorded
+    /// no spans at all (their worker died before its first span, or
+    /// never started) must report finite, sensible occupancy — fully
+    /// idle, never NaN — and the aggregate bubble must stay finite even
+    /// when the whole trace is empty.
+    #[test]
+    fn zero_span_stages_report_finite_idle_metrics() {
+        // One live stage out of three.
+        let mut t = StepTrace::new(vec![1, 2, 1], Instant::now());
+        t.workers.push(WorkerTrace {
+            stage: 0,
+            replica: 0,
+            spans: vec![Span {
+                kind: SpanKind::Fw,
+                micro: 0,
+                bytes: 0,
+                start_ns: 0,
+                end_ns: 100,
+            }],
+            dropped: 0,
+        });
+        let m = t.metrics();
+        assert_eq!(m.makespan_ns, 100);
+        for s in &m.stages {
+            assert!(s.busy_fraction.is_finite(), "stage {} NaN busy", s.stage);
+            assert!(s.bubble_ratio.is_finite(), "stage {} NaN bubble", s.stage);
+        }
+        assert_eq!(m.stages[1].busy_fraction, 0.0);
+        assert_eq!(m.stages[1].bubble_ratio, 1.0);
+        assert_eq!(m.stages[2].busy_fraction, 0.0);
+        assert!(m.bubble_ratio.is_finite());
+
+        // Entirely empty trace (every worker died pre-span).
+        let empty = StepTrace::new(vec![1, 1], Instant::now());
+        let m = empty.metrics();
+        assert_eq!(m.makespan_ns, 0);
+        assert!(m.bubble_ratio.is_finite());
+        for s in &m.stages {
+            assert_eq!(s.busy_fraction, 0.0);
+            assert_eq!(s.bubble_ratio, 1.0);
+        }
+        assert_eq!(m.channel_wait_ns(), 0);
+        assert_eq!(m.busy_ns(), 0);
     }
 
     #[test]

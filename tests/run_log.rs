@@ -1,0 +1,141 @@
+//! End-to-end run telemetry: a 100-step engine run with a recorder
+//! attached produces a parseable JSONL run log — one JSON object per
+//! step with throughput, bubble ratio and recovery costs — plus a
+//! registry summary with deterministic percentiles.
+
+mod common;
+
+use common::{Json, Parser};
+use dapple::engine::{
+    DataStream, EngineConfig, FaultKind, FaultPlan, MlpModel, Optimizer, RetryPolicy, RunRecorder,
+    Supervisor, TrainLoop,
+};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+const DIMS: [usize; 7] = [5, 12, 10, 8, 8, 4, 3];
+
+/// A `Write` sink the test can read back after the recorder is dropped.
+#[derive(Clone, Default)]
+struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn traced_loop() -> TrainLoop {
+    let model = MlpModel::new(&DIMS, 41);
+    let optimizer = Optimizer::adam(0.01, &model);
+    let mut cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+    cfg.tracing = true;
+    cfg.recv_timeout = std::time::Duration::from_millis(500);
+    TrainLoop::new(model, cfg, optimizer, DataStream::new(11, 24, 5, 3)).unwrap()
+}
+
+#[test]
+fn hundred_step_run_produces_parseable_jsonl_run_log() {
+    let sink = SharedSink::default();
+    let mut lp = traced_loop();
+    lp.attach_recorder(RunRecorder::new(Box::new(sink.clone())));
+
+    // Supervised run: a retryable fault at step 7 and periodic
+    // checkpoints, so the log carries real recovery costs.
+    let mut sup = Supervisor::new(lp, RetryPolicy::default()).with_checkpoint_every(25);
+    let mut faults = |step: u64, attempt: usize| {
+        if step == 7 && attempt == 0 {
+            FaultPlan::new().with_fault(1, 0, 2, FaultKind::Panic)
+        } else {
+            FaultPlan::new()
+        }
+    };
+    let losses = sup.run(100, &mut faults).unwrap();
+    assert_eq!(losses.len(), 100);
+
+    let recorder = sup.into_train().take_recorder().expect("recorder survives");
+    assert_eq!(recorder.records(), 100);
+    assert_eq!(recorder.write_errors(), 0);
+
+    // Registry aggregates line up with the run.
+    let summary = recorder.summary_json();
+    let s = Parser::parse(&summary).unwrap_or_else(|e| panic!("bad summary: {e}\n{summary}"));
+    let obj = s.as_object();
+    assert_eq!(obj["steps"].as_f64(), 100.0);
+    assert_eq!(obj["samples"].as_f64(), 2400.0);
+    assert!(
+        obj["rollbacks"].as_f64() >= 1.0,
+        "the injected fault rolled back"
+    );
+    let step_hist = obj["step_ns"].as_object();
+    assert_eq!(step_hist["count"].as_f64(), 100.0);
+    assert!(step_hist["p50"].as_f64() > 0.0);
+    assert!(step_hist["p99"].as_f64() >= step_hist["p50"].as_f64());
+
+    // Every line is one parseable JSON object with the per-step fields.
+    let bytes = sink.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 100);
+    let mut saw_retry = false;
+    let mut saw_checkpoint = false;
+    for (i, line) in lines.iter().enumerate() {
+        let v = Parser::parse(line).unwrap_or_else(|e| panic!("line {i} invalid: {e}\n{line}"));
+        let o = v.as_object();
+        assert_eq!(o["step"].as_f64(), (i + 1) as f64, "steps in order");
+        assert_eq!(o["samples"].as_f64(), 24.0);
+        assert!(o["throughput_sps"].as_f64() > 0.0, "line {i}: throughput");
+        assert!(o["wall_ns"].as_f64() > 0.0);
+        // Tracing is on: schedule metrics are present and sane.
+        let bubble = o["bubble_ratio"].as_f64();
+        assert!((0.0..=1.0).contains(&bubble), "line {i}: bubble {bubble}");
+        assert!(o["makespan_ns"].as_f64() > 0.0);
+        assert!(o.contains_key("channel_wait_ns"));
+        assert_eq!(o["stage_busy_fraction"].as_array().len(), 3);
+        assert!(o.contains_key("straggler"));
+        // Recovery costs: zero on clean steps, recorded where charged.
+        if o["retries"].as_f64() > 0.0 {
+            saw_retry = true;
+            assert!(
+                o["rollback_ns"].as_f64() > 0.0,
+                "retries imply rollback time"
+            );
+        }
+        if o["checkpoint_save_ns"].as_f64() > 0.0 {
+            saw_checkpoint = true;
+        }
+        match &o["loss"] {
+            Json::Number(n) => assert!(n.is_finite()),
+            other => panic!("line {i}: loss not a number: {other:?}"),
+        }
+    }
+    assert!(saw_retry, "the injected fault's retry must be logged");
+    assert!(saw_checkpoint, "checkpoint save cost must be logged");
+}
+
+/// With tracing off the recorder still logs the always-available
+/// scalars, and the trace-derived fields are absent rather than zeroed.
+#[test]
+fn untraced_run_logs_scalars_only() {
+    let sink = SharedSink::default();
+    let model = MlpModel::new(&DIMS, 41);
+    let optimizer = Optimizer::sgd(0.1);
+    let cfg = EngineConfig::straight(vec![0..2, 2..4, 4..6], 4, 0.1);
+    let mut lp = TrainLoop::new(model, cfg, optimizer, DataStream::new(11, 24, 5, 3)).unwrap();
+    lp.attach_recorder(RunRecorder::new(Box::new(sink.clone())));
+    lp.run(5).unwrap();
+    let bytes = sink.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    assert_eq!(text.lines().count(), 5);
+    for line in text.lines() {
+        let v = Parser::parse(line).unwrap();
+        let o = v.as_object();
+        assert!(o.contains_key("throughput_sps"));
+        assert!(!o.contains_key("bubble_ratio"), "no trace, no bubble");
+        assert!(!o.contains_key("stage_busy_fraction"));
+    }
+}

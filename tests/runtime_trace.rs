@@ -203,3 +203,38 @@ fn faulted_step_drains_partial_trace() {
     let json = trace.to_chrome_trace();
     Parser::parse(&json).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{json}"));
 }
+
+/// Metrics derived from a faulted partial trace are NaN-free: a stage
+/// whose worker died before recording anything (panic at its very first
+/// scheduled step) still reports finite busy-fraction and bubble-ratio.
+#[test]
+fn faulted_partial_trace_metrics_are_finite() {
+    let trainer = PipelineTrainer::new(
+        MlpModel::new(&DIMS, 7),
+        traced_cfg(vec![0..2, 2..4, 4..6], 4),
+    )
+    .unwrap();
+    let (x, t) = data::regression_batch(BATCH, DIMS[0], *DIMS.last().unwrap(), 9);
+    // Kill stage 0 at its first scheduled step: downstream stages spend
+    // the step blocked on receives and may record no compute spans.
+    let faults = FaultPlan::new().with_fault(0, 0, 0, FaultKind::Panic);
+    let (result, trace) = trainer.step_with_trace(&x, &t, &faults);
+    assert!(result.is_err(), "fault must surface");
+    let m = trace.expect("partial trace survives the fault").metrics();
+    assert!(m.bubble_ratio.is_finite());
+    assert!((0.0..=1.0).contains(&m.bubble_ratio));
+    for s in &m.stages {
+        assert!(
+            s.busy_fraction.is_finite() && (0.0..=1.0).contains(&s.busy_fraction),
+            "stage {}: busy_fraction {} out of range",
+            s.stage,
+            s.busy_fraction
+        );
+        assert!(
+            s.bubble_ratio.is_finite() && (0.0..=1.0).contains(&s.bubble_ratio),
+            "stage {}: bubble_ratio {} out of range",
+            s.stage,
+            s.bubble_ratio
+        );
+    }
+}
